@@ -1,0 +1,131 @@
+// Ablation (paper SV, future work): Kautz graph K(d, k) with various d
+// and k values -- the degree/diameter trade-off of SIII-A measured on
+// the routing layer itself.
+//
+// For each (d, k): graph size, the exact average shortest-path length
+// over sampled pairs, the average length of the *second*-shortest
+// disjoint route (what a packet pays on the first fail-over), and the
+// ID-only routing-table derivation cost vs. the route-generation
+// baseline's explored nodes.  Larger d buys shorter fail-over detours
+// and more alternatives at the price of degree (maintenance load);
+// larger k buys node count at the price of path length -- exactly the
+// trade-off the paper uses to justify K(d, 3) cells.
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "kautz/graph.hpp"
+#include "kautz/routing.hpp"
+#include "kautz/verifier.hpp"
+#include "refer/system.hpp"
+
+namespace {
+
+/// Full-stack run of REFER with oracle-embedded K(d, k) cells on the
+/// default deployment: delivery, delay, energy.
+void simulate_dk(int d, int k, int n_sensors) {
+  using namespace refer;
+  sim::Simulator simulator;
+  sim::World world({{0, 0}, {500, 500}}, simulator);
+  sim::EnergyTracker energy;
+  sim::Channel channel(simulator, world, energy, Rng(3));
+  for (const Point p : {Point{125, 125}, Point{375, 125}, Point{125, 375},
+                        Point{375, 375}, Point{250, 250}}) {
+    world.add_actuator(p, 250);
+  }
+  Rng rng(42);
+  std::vector<sim::NodeId> sensors;
+  for (int i = 0; i < n_sensors; ++i) {
+    Point anchor = world.position(static_cast<int>(rng.below(5)));
+    const double ang = rng.uniform(0, 6.28318530717958648);
+    const double rad = 220 * std::sqrt(rng.uniform());
+    sensors.push_back(world.add_sensor(
+        clamp({anchor.x + rad * std::cos(ang), anchor.y + rad * std::sin(ang)},
+              {{0, 0}, {500, 500}}),
+        100, 0, 3, rng.split()));
+  }
+  energy.resize(world.size());
+  energy.set_initial_battery(1e9);
+
+  core::ReferConfig config;
+  config.use_oracle_embedding = true;
+  config.oracle.d = d;
+  config.oracle.k = k;
+  core::ReferSystem refer_system(simulator, world, channel, energy, Rng(7),
+                                 config);
+  bool ok = false;
+  refer_system.build([&](bool r) { ok = r; });
+  simulator.run_until(10.0);
+  if (!ok) {
+    std::printf("%-8d%-8d%-12s\n", d, k, "(embedding failed: too few sensors)");
+    return;
+  }
+  Summary delay_ms;
+  int delivered = 0, sent = 0;
+  Rng pick(9);
+  const double t_end = simulator.now() + 60;
+  while (simulator.now() < t_end) {
+    const sim::NodeId src = refer_system.random_active_sensor(pick);
+    ++sent;
+    refer_system.send_to_actuator(src, 2500,
+                                  [&](const core::DeliveryReport& r) {
+                                    if (!r.delivered) return;
+                                    ++delivered;
+                                    delay_ms.add(r.delay_s * 1000);
+                                  });
+    simulator.run_until(simulator.now() + 0.25);
+  }
+  simulator.run_until(simulator.now() + 2);
+  std::printf("%-8d%-8d%-10d%-12.2f%-12.2f%-14.0f\n", d, k, sent,
+              static_cast<double>(delivered) / sent, delay_ms.mean(),
+              energy.communication_total());
+}
+
+}  // namespace
+
+int main() {
+  using namespace refer;
+  using namespace refer::kautz;
+  std::printf("Ablation: K(d, k) degree/diameter trade-off (paper SIII-A, SV)\n");
+  std::printf("%-8s%-8s%-10s%-12s%-14s%-16s%-18s\n", "d", "k", "nodes",
+              "avg-short", "avg-2nd-path", "routes-examined",
+              "routegen-visited");
+  Rng rng(2026);
+  for (const auto [d, k] : std::vector<std::pair<int, int>>{
+           {2, 2}, {2, 3}, {2, 4}, {2, 5}, {3, 2}, {3, 3}, {3, 4},
+           {4, 2}, {4, 3}, {4, 4}, {5, 3}}) {
+    const Graph g(d, k);
+    const auto nodes = g.nodes();
+    Summary shortest, second, visited;
+    for (int i = 0; i < 400; ++i) {
+      const Label u = nodes[rng.below(nodes.size())];
+      const Label v = nodes[rng.below(nodes.size())];
+      if (u == v) continue;
+      const auto routes = disjoint_routes(d, u, v);
+      shortest.add(routes[0].nominal_length);
+      if (routes.size() > 1) second.add(routes[1].nominal_length);
+      visited.add(static_cast<double>(
+          route_generation_cost(g, u, v).nodes_visited));
+    }
+    std::printf("%-8d%-8d%-10llu%-12.2f%-14.2f%-16d%-18.1f\n", d, k,
+                static_cast<unsigned long long>(g.node_count()),
+                shortest.mean(), second.mean(), d, visited.mean());
+  }
+  std::printf(
+      "\nroutes-examined: nodes a REFER relay inspects per fail-over "
+      "decision (Theorem 3.8, = d).\nroutegen-visited: nodes the "
+      "DFTR-style route-generation baseline explores for the same "
+      "decision.\n");
+
+  std::printf(
+      "\nFull-stack REFER with oracle-embedded K(d,k) cells (mobile "
+      "deployment,\n60 s of events from random active sensors):\n");
+  std::printf("%-8s%-8s%-10s%-12s%-12s%-14s\n", "d", "k", "events",
+              "delivered", "delay(ms)", "commJ");
+  simulate_dk(2, 3, 200);
+  simulate_dk(2, 4, 200);
+  simulate_dk(3, 3, 250);
+  simulate_dk(2, 5, 400);
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Ablation: Theorem 3.8 ID-only fail-over vs. BAKE/DFTR-style route
+// generation (paper SIII-C's central claim, measured at the network
+// level rather than the micro-benchmark level).
+//
+// Both routers run the *same* REFER overlay on the same deployment; the
+// only difference is what a relay does when its shortest successor is
+// dead: derive the alternative from the IDs (free), or flood a route
+// request and follow the reply (energy + delay per fail-over).
+#include <cmath>
+#include <cstdio>
+
+#include "common/stats.hpp"
+#include "refer/system.hpp"
+
+using namespace refer;
+
+namespace {
+
+struct Result {
+  double delivery = 0;
+  double delay_ms = 0;
+  double comm_j = 0;
+  std::uint64_t failovers = 0;
+  std::uint64_t floods = 0;
+};
+
+Result run(core::FailoverMode mode, int faulty, std::uint64_t seed) {
+  sim::Simulator simulator;
+  sim::World world({{0, 0}, {500, 500}}, simulator);
+  sim::EnergyTracker energy;
+  sim::Channel channel(simulator, world, energy, Rng(seed));
+  for (const Point p : {Point{125, 125}, Point{375, 125}, Point{125, 375},
+                        Point{375, 375}, Point{250, 250}}) {
+    world.add_actuator(p, 250);
+  }
+  Rng rng(seed * 977 + 3);
+  std::vector<sim::NodeId> sensors;
+  for (int i = 0; i < 200; ++i) {
+    const Point anchor = world.position(static_cast<int>(rng.below(5)));
+    const double ang = rng.uniform(0, 6.28318530717958648);
+    const double rad = 220 * std::sqrt(rng.uniform());
+    sensors.push_back(world.add_sensor(
+        clamp({anchor.x + rad * std::cos(ang), anchor.y + rad * std::sin(ang)},
+              {{0, 0}, {500, 500}}),
+        100, 0, 3, rng.split()));
+  }
+  energy.resize(world.size());
+  energy.set_initial_battery(1e9);
+
+  core::ReferConfig config;
+  config.router.failover = mode;
+  core::ReferSystem system(simulator, world, channel, energy, Rng(7), config);
+  bool ok = false;
+  system.build([&](bool r) { ok = r; });
+  simulator.run_until(30);
+  if (!ok) return {};
+
+  Result result;
+  Rng pick(11), fault(13);
+  Summary delay;
+  int delivered = 0, sent = 0;
+  std::vector<sim::NodeId> down;
+  const double comm0 = energy.communication_total();
+  for (int round = 0; round < 12; ++round) {
+    for (sim::NodeId n : down) world.set_alive(n, true);
+    down.clear();
+    for (std::size_t idx : fault.sample_indices(
+             sensors.size(), static_cast<std::size_t>(faulty))) {
+      world.set_alive(sensors[idx], false);
+      down.push_back(sensors[idx]);
+    }
+    for (int i = 0; i < 25; ++i) {
+      const sim::NodeId src = sensors[pick.below(sensors.size())];
+      if (!world.alive(src)) continue;
+      ++sent;
+      system.send_to_actuator(src, 2500,
+                              [&](const core::DeliveryReport& r) {
+                                if (!r.delivered) return;
+                                ++delivered;
+                                delay.add(r.delay_s * 1000);
+                              });
+      simulator.run_until(simulator.now() + 0.2);
+    }
+  }
+  simulator.run_until(simulator.now() + 3);
+  result.delivery = sent ? static_cast<double>(delivered) / sent : 0;
+  result.delay_ms = delay.mean();
+  result.comm_j = energy.communication_total() - comm0;
+  result.failovers = system.router().stats().failovers;
+  result.floods = system.router().stats().route_gen_floods;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Fail-over ablation: Theorem 3.8 (ID-only) vs route generation\n"
+      "(BAKE/DFTR-style flood per fail-over), same REFER overlay\n\n");
+  std::printf("%-8s %-12s %-10s %-10s %-11s %-10s %-8s\n", "faulty", "mode",
+              "delivery", "delay ms", "comm J", "failovers", "floods");
+  for (int faulty : {5, 10, 20}) {
+    for (const auto mode : {core::FailoverMode::kTheorem38,
+                            core::FailoverMode::kRouteGeneration}) {
+      Result sum;
+      const int reps = 3;
+      for (int i = 0; i < reps; ++i) {
+        const Result r = run(mode, faulty, 1 + static_cast<std::uint64_t>(i));
+        sum.delivery += r.delivery / reps;
+        sum.delay_ms += r.delay_ms / reps;
+        sum.comm_j += r.comm_j / reps;
+        sum.failovers += r.failovers;
+        sum.floods += r.floods;
+      }
+      std::printf("%-8d %-12s %-10.3f %-10.1f %-11.0f %-10llu %-8llu\n",
+                  faulty,
+                  mode == core::FailoverMode::kTheorem38 ? "theorem38"
+                                                         : "route-gen",
+                  sum.delivery, sum.delay_ms, sum.comm_j,
+                  static_cast<unsigned long long>(sum.failovers),
+                  static_cast<unsigned long long>(sum.floods));
+    }
+  }
+  std::printf(
+      "\nEvery route-gen fail-over floods the neighbourhood: the energy\n"
+      "and delay gaps are the paper's SIII-C claim at network level.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Shared plumbing for the figure-reproduction binaries.
+//
+// Every bench prints the same series the corresponding paper figure
+// plots: one row per x value, one column per system, "mean +- 95% CI"
+// over repeated seeds.  Absolute values are not comparable to the paper
+// (our substrate is a scaled-down simulator; see DESIGN.md) -- the
+// reproduction target is the *shape*: ordering, trends, crossovers.
+//
+// Flags (all optional):
+//   --reps N        seeds per point                  (default 3)
+//   --measure S     measurement window, seconds      (default 60)
+//   --pps P         packets per second per source    (default 10)
+//   --csv PREFIX    also write PREFIX_<metric>.csv for plotting
+//   --quick         reps=1, measure=45 (CI smoke runs)
+//   --full          reps=5, measure=200, pps=16 (closer to paper scale)
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "harness/experiment.hpp"
+
+namespace refer::bench {
+
+struct BenchOptions {
+  int reps = 3;
+  std::string csv_prefix;  ///< when set, each table is also written as CSV
+  harness::Scenario base;
+};
+
+inline BenchOptions parse_options(int argc, char** argv) {
+  BenchOptions opt;
+  opt.base.warmup_s = 10;
+  opt.base.measure_s = 60;
+  opt.base.packets_per_second = 10;
+  opt.base.seed = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_val = [&]() -> double {
+      return (i + 1 < argc) ? std::atof(argv[++i]) : 0;
+    };
+    if (arg == "--reps") {
+      opt.reps = static_cast<int>(next_val());
+    } else if (arg == "--measure") {
+      opt.base.measure_s = next_val();
+    } else if (arg == "--pps") {
+      opt.base.packets_per_second = next_val();
+    } else if (arg == "--bytes") {
+      opt.base.packet_bytes = static_cast<std::size_t>(next_val());
+    } else if (arg == "--csv") {
+      opt.csv_prefix = (i + 1 < argc) ? argv[++i] : "series";
+    } else if (arg == "--quick") {
+      opt.reps = 1;
+      opt.base.measure_s = 45;
+    } else if (arg == "--full") {
+      opt.reps = 5;
+      opt.base.measure_s = 200;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+    }
+  }
+  return opt;
+}
+
+/// Prints the table and, with --csv, writes it as PREFIX_<slug>.csv.
+inline void emit_series(const BenchOptions& opt, const std::string& title,
+                        const std::string& x_label,
+                        const std::string& y_label, const std::string& slug,
+                        const std::vector<harness::SweepPoint>& points,
+                        const std::function<Summary(
+                            const harness::AggregateMetrics&)>& select) {
+  harness::print_series_table(title, x_label, y_label, points, select);
+  if (!opt.csv_prefix.empty()) {
+    const std::string path = opt.csv_prefix + "_" + slug + ".csv";
+    if (harness::write_series_csv(path, x_label, points, select)) {
+      std::printf("(csv written to %s)\n", path.c_str());
+    }
+  }
+}
+
+inline void print_header(const char* figure, const char* what) {
+  std::printf("==============================================================\n");
+  std::printf("%s -- %s\n", figure, what);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace refer::bench

@@ -1,0 +1,31 @@
+// Paper Figure 5: energy consumed in communication (data forwarding +
+// topology maintenance) vs. average node mobility speed.
+//
+// Expected shape: REFER lowest with a slight rise; D-DEAR rises fast;
+// DaTree and Kautz-overlay rise fastest, with the crossover the paper
+// highlights: Kautz-overlay < DaTree at 0.5 m/s but > DaTree when
+// mobility is high.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace refer;
+  using namespace refer::bench;
+  const BenchOptions opt = parse_options(argc, argv);
+  print_header("Figure 5", "communication energy vs. node mobility");
+
+  const std::vector<double> avg_speeds{0.5, 1.0, 1.5, 2.0, 2.5};
+  const auto points = harness::sweep(
+      opt.base, avg_speeds,
+      [](harness::Scenario& sc, double avg_speed) {
+        sc.mobile = true;
+        sc.min_speed_mps = 0;
+        sc.max_speed_mps = 2 * avg_speed;
+      },
+      opt.reps);
+  emit_series(opt, "Communication energy vs. mobility", "avg speed (m/s)",
+              "energy consumed in communication (J)", "fig05", points,
+              [](const harness::AggregateMetrics& a) {
+                return a.comm_energy_j;
+              });
+  return 0;
+}

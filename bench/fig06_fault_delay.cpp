@@ -1,0 +1,29 @@
+// Paper Figure 6: average transmission delay of QoS-guaranteed data vs.
+// number of faulty nodes (a fresh random faulty set every 10 s).
+//
+// Expected shape: REFER least delay with slight growth (local ID-only
+// fail-over); Kautz-overlay high but flat-ish (fault-tolerant routing
+// over long multi-hop arcs); DaTree below Kautz-overlay for few faulty
+// nodes, above it beyond ~6; D-DEAR between REFER and DaTree.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace refer;
+  using namespace refer::bench;
+  const BenchOptions opt = parse_options(argc, argv);
+  print_header("Figure 6", "delay vs. number of faulty nodes");
+
+  const std::vector<double> faulty{2, 4, 6, 8, 10};
+  const auto points = harness::sweep(
+      opt.base, faulty,
+      [](harness::Scenario& sc, double n) {
+        sc.faulty_nodes = static_cast<int>(n);
+      },
+      opt.reps);
+  emit_series(opt, "Delay vs. faulty nodes", "# faulty nodes",
+              "avg delay of QoS-guaranteed data (ms)", "fig06", points,
+              [](const harness::AggregateMetrics& a) {
+                return a.avg_delay_ms;
+              });
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Paper Figure 7: QoS-guaranteed throughput vs. number of faulty nodes.
+//
+// Expected shape: all systems decline as faults grow; REFER declines the
+// least; D-DEAR above DaTree (faults only break head paths, not every
+// sensor's path); Kautz-overlay lowest in absolute terms (long paths eat
+// the QoS budget).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace refer;
+  using namespace refer::bench;
+  const BenchOptions opt = parse_options(argc, argv);
+  print_header("Figure 7", "throughput vs. number of faulty nodes");
+
+  const std::vector<double> faulty{2, 4, 6, 8, 10};
+  const auto points = harness::sweep(
+      opt.base, faulty,
+      [](harness::Scenario& sc, double n) {
+        sc.faulty_nodes = static_cast<int>(n);
+      },
+      opt.reps);
+  emit_series(opt, "Throughput vs. faulty nodes", "# faulty nodes",
+              "QoS-guaranteed throughput (kbit/s)", "fig07", points,
+              [](const harness::AggregateMetrics& a) {
+                return a.qos_throughput_kbps;
+              });
+  return 0;
+}

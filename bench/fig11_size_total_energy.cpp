@@ -1,0 +1,43 @@
+// Paper Figure 11: total energy (communication + topology construction)
+// vs. network size, confirming that construction is a small fraction of
+// the total and REFER has the lowest total.
+#include <cmath>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace refer;
+  using namespace refer::bench;
+  const BenchOptions opt = parse_options(argc, argv);
+  print_header("Figure 11", "total energy vs. network size");
+
+  const std::vector<double> sizes{100, 200, 300, 400};
+  const auto points = harness::sweep(
+      opt.base, sizes,
+      [](harness::Scenario& sc, double n) {
+        sc.n_sensors = static_cast<int>(n);
+        // Constant density: a larger network occupies a wider deployment
+        // (the paper's "path lengths increase as network size grows").
+        sc.sensor_spread_m = 220.0 * std::sqrt(n / 200.0);
+      },
+      opt.reps);
+  emit_series(opt, "Total energy vs. network size", "# sensors",
+              "total energy: communication + construction (J)", "fig11",
+              points,
+              [](const harness::AggregateMetrics& a) {
+                return a.total_energy_j;
+              });
+  harness::print_series_table(
+      "Construction share of total", "# sensors",
+      "construction / total (ratio)", points,
+      [](const harness::AggregateMetrics& a) {
+        Summary ratio;
+        // Ratio of means; CI widths are not propagated for this derived
+        // quantity, so report the point estimate only.
+        if (a.total_energy_j.mean() > 0) {
+          ratio.add(a.construction_energy_j.mean() / a.total_energy_j.mean());
+        }
+        return ratio;
+      });
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Overlay inspector: build a REFER overlay and dump everything a network
+// operator would want to see -- cells, label bindings with positions,
+// arc health, roles, CAN zones -- then audit it with the invariant
+// validator.
+//
+//   $ ./overlay_inspector [n_sensors [seed]]
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/rng.hpp"
+#include "kautz/graph.hpp"
+#include "refer/system.hpp"
+#include "refer/validate.hpp"
+
+using namespace refer;
+
+int main(int argc, char** argv) {
+  const int n_sensors = argc > 1 ? std::atoi(argv[1]) : 200;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10)
+                                      : 42;
+
+  sim::Simulator simulator;
+  sim::World world({{0, 0}, {500, 500}}, simulator);
+  sim::EnergyTracker energy;
+  sim::Channel channel(simulator, world, energy, Rng(3));
+  for (const Point p : {Point{125, 125}, Point{375, 125}, Point{125, 375},
+                        Point{375, 375}, Point{250, 250}}) {
+    world.add_actuator(p, 250);
+  }
+  Rng rng(seed);
+  for (int i = 0; i < n_sensors; ++i) {
+    const Point anchor = world.position(static_cast<int>(rng.below(5)));
+    const double ang = rng.uniform(0, 6.28318530717958648);
+    const double rad = 220 * std::sqrt(rng.uniform());
+    world.add_static_sensor(
+        clamp({anchor.x + rad * std::cos(ang), anchor.y + rad * std::sin(ang)},
+              {{0, 0}, {500, 500}}),
+        100);
+  }
+  energy.resize(world.size());
+  energy.set_initial_battery(1e6);
+
+  core::ReferSystem system(simulator, world, channel, energy, Rng(7));
+  bool ok = false;
+  system.build([&](bool r) { ok = r; });
+  simulator.run_until(30.0);
+  if (!ok) {
+    std::printf("embedding failed (n=%d, seed=%llu)\n", n_sensors,
+                static_cast<unsigned long long>(seed));
+    return 1;
+  }
+
+  const auto& topo = system.topology();
+  const kautz::Graph graph(topo.degree(), topo.diameter());
+  std::printf("REFER overlay: K(%d,%d) x %zu cells, %zu active sensors\n\n",
+              topo.degree(), topo.diameter(), topo.cell_count(),
+              topo.active_sensors().size());
+
+  for (core::Cid cid = 0; cid < static_cast<core::Cid>(topo.cell_count());
+       ++cid) {
+    const auto& cell = topo.cell(cid);
+    std::printf("cell %d  centre (%.0f, %.0f)  CAN zone:", cid,
+                cell.center().x, cell.center().y);
+    for (const Rect& z : topo.can().zones_of(cid)) {
+      std::printf(" [%.2f,%.2f]x[%.2f,%.2f]", z.lo.x, z.hi.x, z.lo.y, z.hi.y);
+    }
+    std::printf("\n  %-6s %-6s %-12s %-10s\n", "KID", "node", "position",
+                "kind");
+    auto labels = cell.labels();
+    std::sort(labels.begin(), labels.end());
+    for (const auto& label : labels) {
+      const auto node = cell.node_of(label);
+      const Point p = world.position(*node);
+      std::printf("  %-6s %-6d (%4.0f,%4.0f)  %-10s\n",
+                  label.to_string().c_str(), *node, p.x, p.y,
+                  world.is_actuator(*node) ? "actuator" : "sensor");
+    }
+    // Arc health: how many Kautz arcs are directly connected right now.
+    int arcs = 0, direct = 0;
+    for (const auto& u : labels) {
+      for (const auto& v : graph.out_neighbors(u)) {
+        const auto nu = cell.node_of(u), nv = cell.node_of(v);
+        if (!nu || !nv) continue;
+        ++arcs;
+        direct += (world.can_reach(*nu, *nv) || world.can_reach(*nv, *nu));
+      }
+    }
+    std::printf("  arc health: %d/%d directly connected\n\n", direct, arcs);
+  }
+
+  int wait = 0, sleep = 0;
+  for (sim::NodeId s : world.all_of(sim::NodeKind::kSensor)) {
+    if (topo.role(s) == core::Role::kWait) ++wait;
+    if (topo.role(s) == core::Role::kSleep) ++sleep;
+  }
+  std::printf("roles: %zu active / %d wait / %d sleep\n",
+              topo.active_sensors().size(), wait, sleep);
+  std::printf("construction energy: %.1f J\n", energy.construction_total());
+
+  const auto violations = core::validate_topology(topo, world);
+  if (violations.empty()) {
+    std::printf("invariant audit: clean\n");
+  } else {
+    std::printf("invariant audit: %zu violations\n", violations.size());
+    for (const auto& v : violations) std::printf("  - %s\n", v.c_str());
+  }
+  return violations.empty() ? 0 : 1;
+}

@@ -1,0 +1,311 @@
+#include "baselines/ddear.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+#include <unordered_set>
+
+namespace refer::baselines {
+
+using sim::EnergyBucket;
+
+DDear::DDear(sim::Simulator& sim, sim::World& world, sim::Channel& channel,
+             net::Flooder& flooder, sim::EnergyTracker& energy,
+             DDearConfig config)
+    : sim_(&sim),
+      world_(&world),
+      channel_(&channel),
+      flooder_(&flooder),
+      energy_(&energy),
+      config_(config) {}
+
+std::vector<NodeId> DDear::khop_neighborhood(NodeId node, int hops) {
+  std::unordered_set<NodeId> seen{node};
+  std::vector<NodeId> frontier{node}, out;
+  for (int h = 0; h < hops; ++h) {
+    std::vector<NodeId> next;
+    for (NodeId at : frontier) {
+      for (NodeId n : world_->reachable_from(at)) {
+        if (world_->is_actuator(n)) continue;
+        if (seen.insert(n).second) {
+          next.push_back(n);
+          out.push_back(n);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  return out;
+}
+
+void DDear::build(std::function<void(bool)> done) {
+  // Hello exchange: every sensor broadcasts twice (its id+energy, then its
+  // 1-hop table) so all sensors learn their 2-hop neighbourhood.
+  for (NodeId s : world_->all_of(sim::NodeKind::kSensor)) {
+    if (!world_->alive(s)) continue;
+    channel_->broadcast(s, config_.control_bytes, EnergyBucket::kConstruction,
+                        nullptr);
+    channel_->broadcast(s, config_.control_bytes, EnergyBucket::kConstruction,
+                        nullptr);
+  }
+  sim_->schedule_in(0.5, [this, done = std::move(done)]() mutable {
+    elect_heads_and_paths(std::move(done));
+  });
+}
+
+void DDear::elect_heads_and_paths(std::function<void(bool)> done) {
+  // A sensor with more energy than everyone in its 2-hop neighbourhood is
+  // a cluster head (ties break towards the higher node id).
+  const auto sensors = world_->all_of(sim::NodeKind::kSensor);
+  std::vector<NodeId> heads;
+  auto score = [this](NodeId n) {
+    return std::pair(energy_->battery(static_cast<std::size_t>(n)), n);
+  };
+  for (NodeId s : sensors) {
+    if (!world_->alive(s)) continue;
+    bool best = true;
+    for (NodeId n : khop_neighborhood(s, config_.cluster_radius_hops)) {
+      if (!world_->alive(n)) continue;
+      if (score(n) > score(s)) {
+        best = false;
+        break;
+      }
+    }
+    if (best) heads.push_back(s);
+  }
+  // Members attach to the physically closest head in their 2-hop
+  // neighbourhood (or become their own head when none is visible).
+  for (NodeId s : sensors) {
+    if (!world_->alive(s)) continue;
+    NodeId my_head = -1;
+    double best_d = std::numeric_limits<double>::infinity();
+    for (NodeId n : khop_neighborhood(s, config_.cluster_radius_hops)) {
+      if (std::find(heads.begin(), heads.end(), n) == heads.end()) continue;
+      const double d =
+          distance_sq(world_->position(s), world_->position(n));
+      if (d < best_d) {
+        best_d = d;
+        my_head = n;
+      }
+    }
+    if (std::find(heads.begin(), heads.end(), s) != heads.end()) my_head = s;
+    if (my_head < 0) {
+      heads.push_back(s);  // isolated: self-cluster
+      my_head = s;
+    }
+    head_of_[s] = my_head;
+  }
+  discover_head_path(0, std::move(heads), std::move(done));
+}
+
+void DDear::discover_head_path(std::size_t head_index,
+                               std::vector<NodeId> heads,
+                               std::function<void(bool)> done) {
+  if (head_index >= heads.size()) {
+    done(true);
+    return;
+  }
+  const NodeId head = heads[head_index];
+  const NodeId actuator = world_->closest_actuator(head);
+  if (actuator < 0) {
+    done(false);
+    return;
+  }
+  flooder_->discover(
+      head, actuator, config_.repair_ttl, EnergyBucket::kConstruction,
+      [this, head, head_index, heads = std::move(heads),
+       done = std::move(done)](std::optional<std::vector<NodeId>> path) mutable {
+        if (path) head_paths_[head] = *path;
+        else head_paths_[head] = {};  // repaired lazily on first use
+        discover_head_path(head_index + 1, std::move(heads), std::move(done));
+      },
+      config_.control_bytes, config_.repair_deadline_s);
+}
+
+bool DDear::is_head(NodeId sensor) const { return head_paths_.contains(sensor); }
+
+NodeId DDear::head_of(NodeId sensor) const {
+  const auto it = head_of_.find(sensor);
+  return it == head_of_.end() ? -1 : it->second;
+}
+
+void DDear::send_event(NodeId src, std::size_t bytes,
+                       std::function<void(const Delivery&)> done) {
+  auto msg = std::make_shared<Pending>();
+  msg->src = src;
+  msg->bytes = bytes;
+  msg->sent_at = sim_->now();
+  msg->retries_left = config_.max_retransmissions;
+  msg->done = std::move(done);
+  route_from_member(src, msg);
+}
+
+void DDear::route_from_member(NodeId src, PendingPtr msg) {
+  if (world_->is_actuator(src)) {
+    finish(src, msg);
+    return;
+  }
+  const NodeId head = head_of(src);
+  if (head < 0) {
+    reattach_member(src, msg);
+    return;
+  }
+  if (head == src) {
+    send_via_head(head, msg);
+    return;
+  }
+  // Member -> head: direct, or via one relay within the cluster radius.
+  channel_->unicast(src, head, msg->bytes, EnergyBucket::kData,
+                    [this, src, head, msg](bool ok) {
+                      if (ok) {
+                        ++msg->hops;
+                        send_via_head(head, msg);
+                        return;
+                      }
+                      // Try a relay towards the head.
+                      NodeId relay = -1;
+                      double best = std::numeric_limits<double>::infinity();
+                      for (NodeId r : world_->reachable_from(src)) {
+                        if (!world_->can_reach(r, head)) continue;
+                        const double d = distance_sq(world_->position(r),
+                                                     world_->position(head));
+                        if (d < best) {
+                          best = d;
+                          relay = r;
+                        }
+                      }
+                      if (relay < 0) {
+                        reattach_member(src, msg);
+                        return;
+                      }
+                      channel_->unicast(
+                          src, relay, msg->bytes, EnergyBucket::kData,
+                          [this, src, relay, head, msg](bool ok1) {
+                            if (!ok1) {
+                              reattach_member(src, msg);
+                              return;
+                            }
+                            ++msg->hops;
+                            channel_->unicast(
+                                relay, head, msg->bytes, EnergyBucket::kData,
+                                [this, src, head, msg](bool ok2) {
+                                  if (!ok2) {
+                                    reattach_member(src, msg);
+                                    return;
+                                  }
+                                  ++msg->hops;
+                                  send_via_head(head, msg);
+                                });
+                          });
+                    });
+}
+
+void DDear::send_via_head(NodeId head, PendingPtr msg) {
+  if (world_->is_actuator(head)) {
+    finish(head, msg);
+    return;
+  }
+  const auto it = head_paths_.find(head);
+  if (it == head_paths_.end() || it->second.size() < 2) {
+    repair_head_path(head, msg);
+    return;
+  }
+  walk_head_path(head, 0, msg);
+}
+
+void DDear::walk_head_path(NodeId head, std::size_t hop_index,
+                           PendingPtr msg) {
+  const auto& path = head_paths_[head];
+  if (hop_index + 1 >= path.size()) {
+    finish(path.back(), msg);
+    return;
+  }
+  channel_->unicast(path[hop_index], path[hop_index + 1], msg->bytes,
+                    EnergyBucket::kData,
+                    [this, head, hop_index, msg](bool ok) {
+                      if (!ok) {
+                        repair_head_path(head, msg);
+                        return;
+                      }
+                      ++msg->hops;
+                      walk_head_path(head, hop_index + 1, msg);
+                    });
+}
+
+void DDear::repair_head_path(NodeId head, PendingPtr msg) {
+  if (msg->retries_left-- <= 0) {
+    drop(msg);
+    return;
+  }
+  ++stats_.repairs;
+  const NodeId actuator = world_->closest_actuator(head);
+  if (actuator < 0 || !world_->alive(head)) {
+    drop(msg);
+    return;
+  }
+  flooder_->discover(
+      head, actuator, config_.repair_ttl, EnergyBucket::kMaintenance,
+      [this, head, msg](std::optional<std::vector<NodeId>> path) {
+        if (!path) {
+          drop(msg);
+          return;
+        }
+        head_paths_[head] = *path;
+        ++stats_.retransmissions;
+        walk_head_path(head, 0, msg);  // retransmit from the head
+      },
+      config_.control_bytes, config_.repair_deadline_s);
+}
+
+void DDear::reattach_member(NodeId member, PendingPtr msg) {
+  if (msg->retries_left-- <= 0) {
+    drop(msg);
+    return;
+  }
+  ++stats_.reattachments;
+  // The member announces itself (one broadcast) and adopts the closest
+  // reachable head; without one it becomes a self-head.
+  channel_->broadcast(member, config_.control_bytes,
+                      EnergyBucket::kMaintenance, nullptr);
+  NodeId new_head = -1;
+  double best = std::numeric_limits<double>::infinity();
+  for (NodeId n : khop_neighborhood(member, config_.cluster_radius_hops)) {
+    if (!is_head(n) || !world_->alive(n)) continue;
+    const double d = distance_sq(world_->position(member),
+                                 world_->position(n));
+    if (d < best) {
+      best = d;
+      new_head = n;
+    }
+  }
+  if (new_head < 0) {
+    new_head = member;
+    head_paths_.try_emplace(member);  // becomes a head, path found lazily
+  }
+  head_of_[member] = new_head;
+  // Source retransmission after the re-attachment settles; the message
+  // keeps its original timestamp and retry budget.
+  ++stats_.retransmissions;
+  sim_->schedule_in(0.01, [this, member, msg] { route_from_member(member, msg); });
+}
+
+void DDear::finish(NodeId actuator, PendingPtr msg) {
+  ++stats_.delivered;
+  Delivery d;
+  d.delivered = true;
+  d.delay_s = sim_->now() - msg->sent_at;
+  d.physical_hops = msg->hops;
+  d.actuator = actuator;
+  if (msg->done) msg->done(d);
+}
+
+void DDear::drop(PendingPtr msg) {
+  ++stats_.drops;
+  Delivery d;
+  d.delivered = false;
+  d.delay_s = sim_->now() - msg->sent_at;
+  d.physical_hops = msg->hops;
+  if (msg->done) msg->done(d);
+}
+
+}  // namespace refer::baselines

@@ -1,0 +1,41 @@
+// Common interface of the evaluated WSAN systems (paper SIV): REFER and
+// the three baselines all expose topology construction plus the
+// evaluation workload "sensor reports an event to a nearby actuator".
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "sim/world.hpp"
+
+namespace refer::baselines {
+
+using sim::NodeId;
+
+/// Outcome of one event report.
+struct Delivery {
+  bool delivered = false;
+  double delay_s = 0;      ///< send -> actuator arrival (simulated seconds)
+  int physical_hops = 0;   ///< frames on the air for the payload
+  NodeId actuator = -1;    ///< receiving actuator
+};
+
+/// A WSAN under evaluation.
+class WsanSystem {
+ public:
+  virtual ~WsanSystem() = default;
+
+  /// Constructs the system's topology (trees / clusters / overlay);
+  /// energy is charged to the construction bucket.  `done(ok)` fires when
+  /// construction finished.
+  virtual void build(std::function<void(bool ok)> done) = 0;
+
+  /// Reports an event sensed at `src` towards a nearby actuator.
+  virtual void send_event(NodeId src, std::size_t bytes,
+                          std::function<void(const Delivery&)> done) = 0;
+
+  /// Display name for tables.
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+}  // namespace refer::baselines

@@ -1,0 +1,40 @@
+#include "common/geometry.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace refer {
+
+double distance(Point a, Point b) noexcept { return (a - b).norm(); }
+
+double distance_sq(Point a, Point b) noexcept {
+  const Point d = a - b;
+  return d.x * d.x + d.y * d.y;
+}
+
+bool within_range(Point a, Point b, double range) noexcept {
+  return distance_sq(a, b) <= range * range;
+}
+
+Point clamp(Point p, const Rect& rect) noexcept {
+  return {std::clamp(p.x, rect.lo.x, rect.hi.x),
+          std::clamp(p.y, rect.lo.y, rect.hi.y)};
+}
+
+Point centroid(const std::vector<Point>& pts) noexcept {
+  assert(!pts.empty());
+  Point sum;
+  for (const Point& p : pts) sum = sum + p;
+  return sum * (1.0 / static_cast<double>(pts.size()));
+}
+
+double hamiltonian_min_range(double cell_side) noexcept {
+  // Prop 3.2: (pi r^2 / 4 b^2) n >= n/2  =>  r >= b * sqrt(2/pi) ~= 0.7979 b.
+  return cell_side * std::sqrt(2.0 / 3.14159265358979323846);
+}
+
+double hamiltonian_max_cell_side(double range) noexcept {
+  return range / std::sqrt(2.0 / 3.14159265358979323846);
+}
+
+}  // namespace refer

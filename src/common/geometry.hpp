@@ -1,0 +1,64 @@
+// 2-D geometry primitives for node placement, mobility and radio range
+// checks.  The simulated deployment area is the axis-aligned square
+// [0, side] x [0, side] (paper SIV: 500 m x 500 m).
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+namespace refer {
+
+/// A point (or displacement) in the 2-D deployment plane, in metres.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Point operator+(Point o) const noexcept { return {x + o.x, y + o.y}; }
+  constexpr Point operator-(Point o) const noexcept { return {x - o.x, y - o.y}; }
+  constexpr Point operator*(double s) const noexcept { return {x * s, y * s}; }
+  constexpr bool operator==(const Point&) const noexcept = default;
+
+  [[nodiscard]] double norm() const noexcept { return std::hypot(x, y); }
+};
+
+/// Euclidean distance between two points.
+[[nodiscard]] double distance(Point a, Point b) noexcept;
+
+/// Squared distance; avoids the sqrt in hot range checks.
+[[nodiscard]] double distance_sq(Point a, Point b) noexcept;
+
+/// True iff |a-b| <= range (inclusive: a node exactly at the range edge can
+/// still communicate; the boundary case matters for unit tests).
+[[nodiscard]] bool within_range(Point a, Point b, double range) noexcept;
+
+/// Axis-aligned rectangle [lo.x, hi.x] x [lo.y, hi.y].
+struct Rect {
+  Point lo;
+  Point hi;
+
+  [[nodiscard]] bool contains(Point p) const noexcept {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
+  }
+  [[nodiscard]] double width() const noexcept { return hi.x - lo.x; }
+  [[nodiscard]] double height() const noexcept { return hi.y - lo.y; }
+  [[nodiscard]] Point center() const noexcept {
+    return {(lo.x + hi.x) / 2, (lo.y + hi.y) / 2};
+  }
+};
+
+/// Clamps p to rect.
+[[nodiscard]] Point clamp(Point p, const Rect& rect) noexcept;
+
+/// Centroid of a non-empty point set.
+[[nodiscard]] Point centroid(const std::vector<Point>& pts) noexcept;
+
+/// Paper Proposition 3.2: for nodes i.i.d. in a square cell of side b, the
+/// node transmission range r must satisfy r >= 0.8*b for the selected Kautz
+/// nodes to be guaranteed (Dirac) to form a Hamiltonian cycle.  Returns the
+/// minimum admissible range for a given cell side.
+[[nodiscard]] double hamiltonian_min_range(double cell_side) noexcept;
+
+/// The converse bound: largest admissible cell side for a given range.
+[[nodiscard]] double hamiltonian_max_cell_side(double range) noexcept;
+
+}  // namespace refer

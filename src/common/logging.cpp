@@ -1,0 +1,33 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+
+namespace refer {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+constexpr const char* level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level.store(level); }
+LogLevel log_level() noexcept { return g_level.load(); }
+
+namespace detail {
+void log_line(LogLevel level, std::string_view msg) {
+  std::fprintf(stderr, "[%s] %.*s\n", level_name(level),
+               static_cast<int>(msg.size()), msg.data());
+}
+}  // namespace detail
+
+}  // namespace refer

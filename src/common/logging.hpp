@@ -1,0 +1,62 @@
+// Minimal leveled logger.
+//
+// The simulator is a library first; logging defaults to Warn so tests and
+// benches stay quiet.  Examples raise the level to show protocol traces.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace refer {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global log threshold; messages below it are discarded.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+namespace detail {
+void log_line(LogLevel level, std::string_view msg);
+
+template <typename... Args>
+std::string format(const char* fmt, Args&&... args) {
+  const int n = std::snprintf(nullptr, 0, fmt, std::forward<Args>(args)...);
+  if (n <= 0) return {};
+  std::string out(static_cast<std::size_t>(n), '\0');
+  std::snprintf(out.data(), out.size() + 1, fmt, std::forward<Args>(args)...);
+  return out;
+}
+}  // namespace detail
+
+/// printf-style logging helpers.  Arguments are only formatted when the
+/// message passes the threshold.
+template <typename... Args>
+void log_at(LogLevel level, const char* fmt, Args&&... args) {
+  if (level < log_level()) return;
+  detail::log_line(level, detail::format(fmt, std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_trace(const char* fmt, Args&&... args) {
+  log_at(LogLevel::kTrace, fmt, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_debug(const char* fmt, Args&&... args) {
+  log_at(LogLevel::kDebug, fmt, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_info(const char* fmt, Args&&... args) {
+  log_at(LogLevel::kInfo, fmt, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_warn(const char* fmt, Args&&... args) {
+  log_at(LogLevel::kWarn, fmt, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_error(const char* fmt, Args&&... args) {
+  log_at(LogLevel::kError, fmt, std::forward<Args>(args)...);
+}
+
+}  // namespace refer

@@ -1,0 +1,54 @@
+// Streaming statistics and confidence intervals for experiment metrics.
+//
+// The paper reports every experimental result with a 95% confidence
+// interval; Summary reproduces that (Student-t for small sample counts).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace refer {
+
+/// Welford streaming accumulator: mean / variance / min / max in one pass.
+class Summary {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept;  ///< sample variance (n-1)
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+  /// Half-width of the 95% confidence interval of the mean (0 for n < 2).
+  [[nodiscard]] double ci95_half_width() const noexcept;
+
+  /// "mean +- hw" rendered with the given precision.
+  [[nodiscard]] std::string to_string(int precision = 3) const;
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void merge(const Summary& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Two-sided 95% Student-t critical value for n-1 degrees of freedom;
+/// exact table for df <= 30, 1.96 beyond.
+[[nodiscard]] double t_critical_95(std::size_t df) noexcept;
+
+/// Mean of a sample (0 for empty).
+[[nodiscard]] double mean_of(const std::vector<double>& xs) noexcept;
+
+/// p-th percentile (0 <= p <= 100) by linear interpolation; 0 for empty.
+[[nodiscard]] double percentile(std::vector<double> xs, double p) noexcept;
+
+}  // namespace refer

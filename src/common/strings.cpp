@@ -1,0 +1,33 @@
+#include "common/strings.hpp"
+
+namespace refer {
+
+std::vector<std::string> split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+bool all_digits_below(std::string_view s, int alphabet) noexcept {
+  for (char c : s) {
+    if (c < '0' || c >= '0' + alphabet) return false;
+  }
+  return true;
+}
+
+}  // namespace refer

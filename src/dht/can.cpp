@@ -1,0 +1,218 @@
+#include "dht/can.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace refer::dht {
+
+namespace {
+constexpr Rect kUnitSquare{{0, 0}, {1, 1}};
+constexpr double kEps = 1e-12;
+}  // namespace
+
+bool Can::join(MemberId member, Point point) {
+  if (zones_.contains(member)) return false;
+  if (!kUnitSquare.contains(point)) return false;
+  if (zones_.empty()) {
+    zones_[member] = {kUnitSquare};
+    points_[member] = point;
+    return true;
+  }
+  const auto owner = owner_of(point);
+  assert(owner.has_value());
+  const Point q = points_.at(*owner);
+  if (std::abs(q.x - point.x) < kEps && std::abs(q.y - point.y) < kEps) {
+    return false;  // cannot split between coincident points
+  }
+  auto& rects = zones_.at(*owner);
+  // Find the owner's rectangle containing the point and split it between
+  // the owner's own point q and the joiner's point, along the axis where
+  // they differ most.  Splitting *between* the two points (rather than at
+  // the blind midpoint of the rectangle) guarantees every member's zone
+  // always contains its own join point -- the invariant REFER's
+  // inter-cell routing relies on (the owner of a cell's coordinate is
+  // that cell).
+  for (auto& r : rects) {
+    if (!r.contains(point)) continue;
+    if (!r.contains(q)) {
+      // The owner's point lives in another of its rectangles (after a
+      // takeover); a plain longer-axis midpoint split is safe here.
+      Rect keep = r, give = r;
+      if (r.width() >= r.height()) {
+        const double mid = (r.lo.x + r.hi.x) / 2;
+        (point.x < mid ? give.hi.x : give.lo.x) = mid;
+        (point.x < mid ? keep.lo.x : keep.hi.x) = mid;
+      } else {
+        const double mid = (r.lo.y + r.hi.y) / 2;
+        (point.y < mid ? give.hi.y : give.lo.y) = mid;
+        (point.y < mid ? keep.lo.y : keep.hi.y) = mid;
+      }
+      r = keep;
+      zones_[member] = {give};
+      points_[member] = point;
+      return true;
+    }
+    Rect keep = r, give = r;
+    if (std::abs(point.x - q.x) >= std::abs(point.y - q.y)) {
+      const double mid = (point.x + q.x) / 2;
+      if (point.x < q.x) {
+        give.hi.x = mid;
+        keep.lo.x = mid;
+      } else {
+        give.lo.x = mid;
+        keep.hi.x = mid;
+      }
+    } else {
+      const double mid = (point.y + q.y) / 2;
+      if (point.y < q.y) {
+        give.hi.y = mid;
+        keep.lo.y = mid;
+      } else {
+        give.lo.y = mid;
+        keep.hi.y = mid;
+      }
+    }
+    r = keep;
+    zones_[member] = {give};
+    points_[member] = point;
+    return true;
+  }
+  return false;
+}
+
+bool Can::leave(MemberId member) {
+  const auto it = zones_.find(member);
+  if (it == zones_.end() || zones_.size() == 1) return false;
+  // Takeover: the adjoining member with the smallest total area inherits
+  // the leaver's rectangles.
+  MemberId heir = -1;
+  double heir_area = std::numeric_limits<double>::infinity();
+  for (MemberId n : neighbors(member)) {
+    const double a = area_of(n);
+    if (a < heir_area) {
+      heir_area = a;
+      heir = n;
+    }
+  }
+  assert(heir >= 0);
+  auto& heir_rects = zones_.at(heir);
+  for (const Rect& r : it->second) heir_rects.push_back(r);
+  zones_.erase(it);
+  points_.erase(member);
+  return true;
+}
+
+std::optional<Point> Can::point_of(MemberId member) const {
+  const auto it = points_.find(member);
+  if (it == points_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<MemberId> Can::owner_of(Point p) const {
+  for (const auto& [m, rects] : zones_) {
+    for (const Rect& r : rects) {
+      if (r.contains(p)) return m;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<Rect> Can::zones_of(MemberId member) const {
+  const auto it = zones_.find(member);
+  return it == zones_.end() ? std::vector<Rect>{} : it->second;
+}
+
+double Can::area_of(MemberId member) const {
+  double area = 0;
+  for (const Rect& r : zones_of(member)) area += r.width() * r.height();
+  return area;
+}
+
+bool Can::adjoining(const Rect& a, const Rect& b) noexcept {
+  // Share a boundary segment of positive length: touching along one axis,
+  // overlapping with positive measure along the other.
+  const bool touch_x = std::abs(a.hi.x - b.lo.x) < kEps ||
+                       std::abs(b.hi.x - a.lo.x) < kEps;
+  const bool touch_y = std::abs(a.hi.y - b.lo.y) < kEps ||
+                       std::abs(b.hi.y - a.lo.y) < kEps;
+  const double overlap_x =
+      std::min(a.hi.x, b.hi.x) - std::max(a.lo.x, b.lo.x);
+  const double overlap_y =
+      std::min(a.hi.y, b.hi.y) - std::max(a.lo.y, b.lo.y);
+  return (touch_x && overlap_y > kEps) || (touch_y && overlap_x > kEps);
+}
+
+std::vector<MemberId> Can::neighbors(MemberId member) const {
+  std::vector<MemberId> out;
+  const auto mine = zones_of(member);
+  for (const auto& [other, rects] : zones_) {
+    if (other == member) continue;
+    bool adj = false;
+    for (const Rect& a : mine) {
+      for (const Rect& b : rects) {
+        if (adjoining(a, b)) {
+          adj = true;
+          break;
+        }
+      }
+      if (adj) break;
+    }
+    if (adj) out.push_back(other);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+double Can::rect_distance(const Rect& z, Point p) noexcept {
+  const double dx = std::max({z.lo.x - p.x, 0.0, p.x - z.hi.x});
+  const double dy = std::max({z.lo.y - p.y, 0.0, p.y - z.hi.y});
+  return std::hypot(dx, dy);
+}
+
+double Can::distance_to(MemberId member, Point p) const {
+  double best = std::numeric_limits<double>::infinity();
+  for (const Rect& r : zones_of(member)) {
+    best = std::min(best, rect_distance(r, p));
+  }
+  return best;
+}
+
+std::optional<MemberId> Can::next_hop(MemberId member, Point target) const {
+  const double own = distance_to(member, target);
+  if (own <= kEps) return std::nullopt;  // member owns the target point
+  MemberId best = -1;
+  double best_d = own;
+  for (MemberId n : neighbors(member)) {
+    const double d = distance_to(n, target);
+    if (d < best_d) {
+      best_d = d;
+      best = n;
+    }
+  }
+  if (best < 0) return std::nullopt;
+  return best;
+}
+
+std::vector<MemberId> Can::route(MemberId from, Point target) const {
+  std::vector<MemberId> path{from};
+  // Bound iterations by the member count: greedy strictly decreases the
+  // distance, so it can never revisit a member.
+  for (std::size_t i = 0; i < zones_.size(); ++i) {
+    const auto next = next_hop(path.back(), target);
+    if (!next) break;
+    path.push_back(*next);
+  }
+  return path;
+}
+
+std::vector<MemberId> Can::members() const {
+  std::vector<MemberId> out;
+  out.reserve(zones_.size());
+  for (const auto& [m, _] : zones_) out.push_back(m);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace refer::dht

@@ -1,0 +1,92 @@
+// CAN: a Content-Addressable Network over the unit square [16]
+// (paper SIII-B3: REFER's upper tier connecting the actuators of all
+// cells; each actuator owns a zone, keeps the owners of adjoining zones as
+// neighbours, and greedily forwards towards the destination coordinates).
+//
+// This is the overlay *logic* (zones, neighbour sets, greedy next hop);
+// the physical transmission of each overlay hop is done by the caller
+// (REFER inter-cell routing) through the Channel, so delay and energy are
+// charged where they belong.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/geometry.hpp"
+
+namespace refer::dht {
+
+/// Identifier of a CAN member (REFER: the actuator's physical NodeId).
+using MemberId = int;
+
+/// A CAN overlay instance.  A member may own several rectangles after a
+/// takeover (CAN's leave protocol), hence zones_of returns a list.
+class Can {
+ public:
+  /// Creates an empty overlay covering the unit square.
+  Can() = default;
+
+  /// Adds a member owning the part of the zone that contains `point`,
+  /// splitting between the zone owner's own join point and `point` along
+  /// the axis where they differ most, so every member's zone always
+  /// contains its own join point (the invariant greedy inter-cell routing
+  /// relies on).  The first member owns the whole space.  Returns false
+  /// if `point` is outside the unit square, coincides with the owner's
+  /// point, or the member already joined.
+  bool join(MemberId member, Point point);
+
+  /// The join point of a member.
+  [[nodiscard]] std::optional<Point> point_of(MemberId member) const;
+
+  /// Removes a member; its rectangles are taken over by the adjoining
+  /// member with the smallest total area (CAN takeover).  Returns false
+  /// if the member is unknown or is the last member.
+  bool leave(MemberId member);
+
+  [[nodiscard]] std::size_t size() const noexcept { return zones_.size(); }
+  [[nodiscard]] bool contains(MemberId member) const {
+    return zones_.contains(member);
+  }
+
+  /// The member whose zone contains the point.
+  [[nodiscard]] std::optional<MemberId> owner_of(Point p) const;
+
+  /// The zone rectangles of a member (usually one).
+  [[nodiscard]] std::vector<Rect> zones_of(MemberId member) const;
+
+  /// Total area owned by a member.
+  [[nodiscard]] double area_of(MemberId member) const;
+
+  /// Members whose zones adjoin `member`'s zone (share a boundary segment
+  /// of positive length).  This is the CAN neighbour set.
+  [[nodiscard]] std::vector<MemberId> neighbors(MemberId member) const;
+
+  /// Greedy CAN routing step: the neighbour whose zone is closest to
+  /// `target`, provided it improves on `member`'s own distance.  Returns
+  /// nullopt when `member` owns the target point (delivery) or no
+  /// neighbour improves (cannot happen on a full tessellation).
+  [[nodiscard]] std::optional<MemberId> next_hop(MemberId member,
+                                                 Point target) const;
+
+  /// Full overlay route (member sequence, starting with `from`) to the
+  /// owner of `target`.  Provided for tests and routing-table dumps; the
+  /// protocol steps hop by hop with next_hop().
+  [[nodiscard]] std::vector<MemberId> route(MemberId from, Point target) const;
+
+  /// All members.
+  [[nodiscard]] std::vector<MemberId> members() const;
+
+  /// Distance from `member`'s zone to a point (0 when inside).
+  [[nodiscard]] double distance_to(MemberId member, Point p) const;
+
+ private:
+  [[nodiscard]] static double rect_distance(const Rect& z, Point p) noexcept;
+  [[nodiscard]] static bool adjoining(const Rect& a, const Rect& b) noexcept;
+
+  std::unordered_map<MemberId, std::vector<Rect>> zones_;
+  std::unordered_map<MemberId, Point> points_;
+};
+
+}  // namespace refer::dht

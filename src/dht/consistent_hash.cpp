@@ -1,0 +1,37 @@
+#include "dht/consistent_hash.hpp"
+
+namespace refer::dht {
+
+namespace {
+constexpr std::uint64_t avalanche(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+std::uint64_t consistent_hash(std::string_view key) noexcept {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (char c : key) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return avalanche(h);
+}
+
+std::uint64_t consistent_hash(std::uint64_t key) noexcept {
+  return avalanche(key + 0x9e3779b97f4a7c15ULL);
+}
+
+double to_unit(std::uint64_t h) noexcept {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+Point to_unit_point(std::uint64_t h) noexcept {
+  const auto lo = static_cast<std::uint32_t>(h);
+  const auto hi = static_cast<std::uint32_t>(h >> 32);
+  return {static_cast<double>(hi) / 4294967296.0,
+          static_cast<double>(lo) / 4294967296.0};
+}
+
+}  // namespace refer::dht

@@ -1,0 +1,26 @@
+// Consistent hashing (paper SIII-B1: "each actuator A has a value H(A)
+// which is the consistent hash value of its IP address" [33]).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/geometry.hpp"
+
+namespace refer::dht {
+
+/// 64-bit stable hash of an arbitrary key (FNV-1a with avalanche finish);
+/// the same key always maps to the same value across runs and platforms.
+[[nodiscard]] std::uint64_t consistent_hash(std::string_view key) noexcept;
+
+/// Convenience: hash of a numeric node identity (e.g. "IP address").
+[[nodiscard]] std::uint64_t consistent_hash(std::uint64_t key) noexcept;
+
+/// Maps a hash to [0, 1).
+[[nodiscard]] double to_unit(std::uint64_t h) noexcept;
+
+/// Maps a key to a point in the CAN unit square (independent coordinates
+/// from the two hash halves).
+[[nodiscard]] Point to_unit_point(std::uint64_t h) noexcept;
+
+}  // namespace refer::dht

@@ -1,0 +1,426 @@
+#include "harness/experiment.hpp"
+
+#include "common/stats.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "baselines/datree.hpp"
+#include "baselines/ddear.hpp"
+#include "baselines/kautz_overlay.hpp"
+#include "common/logging.hpp"
+#include "net/flooding.hpp"
+#include "refer/system.hpp"
+#include "sim/channel.hpp"
+#include "sim/trace.hpp"
+
+namespace refer::harness {
+
+const char* to_string(SystemKind kind) noexcept {
+  switch (kind) {
+    case SystemKind::kRefer: return "REFER";
+    case SystemKind::kDaTree: return "DaTree";
+    case SystemKind::kDDear: return "D-DEAR";
+    case SystemKind::kKautzOverlay: return "Kautz-overlay";
+  }
+  return "?";
+}
+
+namespace {
+
+using baselines::Delivery;
+using baselines::WsanSystem;
+using sim::NodeId;
+
+/// Adapts the REFER facade to the common WsanSystem interface.
+class ReferAdapter final : public WsanSystem {
+ public:
+  ReferAdapter(sim::Simulator& sim, sim::World& world, sim::Channel& channel,
+               sim::EnergyTracker& energy, Rng rng)
+      : system_(sim, world, channel, energy, rng) {}
+
+  void build(std::function<void(bool)> done) override {
+    system_.build(std::move(done));
+  }
+
+  void send_event(NodeId src, std::size_t bytes,
+                  std::function<void(const Delivery&)> done) override {
+    system_.send_to_actuator(
+        src, bytes, [done = std::move(done)](const core::DeliveryReport& r) {
+          Delivery d;
+          d.delivered = r.delivered;
+          d.delay_s = r.delay_s;
+          d.physical_hops = r.physical_hops;
+          d.actuator = r.final_node;
+          done(d);
+        });
+  }
+
+  [[nodiscard]] const char* name() const override { return "REFER"; }
+
+ private:
+  core::ReferSystem system_;
+};
+
+/// One fully wired deployment.
+struct Deployment {
+  explicit Deployment(const Scenario& sc)
+      : scenario(sc),
+        rng(sc.seed),
+        world({{0, 0}, {sc.area_side_m, sc.area_side_m}}, sim),
+        channel(sim, world, energy, Rng(sc.seed ^ 0xC0FFEE),
+                sim::ChannelConfig{
+                    .mac = sc.csma ? sim::MacMode::kCsma
+                                   : sim::MacMode::kNullMac}),
+        flooder(sim, world, channel) {
+    place_actuators();
+    place_sensors();
+    energy.resize(world.size());
+    energy.set_initial_battery(sc.initial_battery_j);
+    if (!sc.trace_path.empty()) {
+      trace_writer = std::make_unique<sim::JsonlTraceWriter>(sc.trace_path);
+      tracer.set_sink(std::ref(*trace_writer));
+      channel.set_tracer(&tracer);
+      world.set_tracer(&tracer);
+    }
+  }
+
+  void place_actuators() {
+    const double side = scenario.area_side_m;
+    if (scenario.n_actuators == 5) {
+      // The paper's quincunx: 4 inner-square corners + centre = 4 cells.
+      for (const Point p :
+           {Point{0.25 * side, 0.25 * side}, Point{0.75 * side, 0.25 * side},
+            Point{0.25 * side, 0.75 * side}, Point{0.75 * side, 0.75 * side},
+            Point{0.50 * side, 0.50 * side}}) {
+        actuators.push_back(
+            world.add_actuator(p, scenario.actuator_range_m));
+      }
+      return;
+    }
+    // General count: a zig-zag strip across the middle band; consecutive
+    // and skip-one actuators stay within actuator range, and the strip
+    // triangulation is always 3-colourable.
+    const int n = scenario.n_actuators;
+    const double dx =
+        std::min(scenario.actuator_range_m * 0.45,
+                 0.8 * side / std::max(1, n - 1));
+    const double x0 = (side - dx * (n - 1)) / 2;
+    for (int i = 0; i < n; ++i) {
+      const double y = (i % 2 ? 0.62 : 0.38) * side;
+      actuators.push_back(world.add_actuator({x0 + dx * i, y},
+                                             scenario.actuator_range_m));
+    }
+  }
+
+  void place_sensors() {
+    const Rect area{{0, 0}, {scenario.area_side_m, scenario.area_side_m}};
+    for (int i = 0; i < scenario.n_sensors; ++i) {
+      // I.i.d. around a uniformly chosen actuator (paper SIV): uniform in
+      // a disc of radius sensor_spread_m, clamped to the area.
+      const Point anchor = world.position(
+          actuators[rng.below(actuators.size())]);
+      const double angle = rng.uniform(0, 2 * 3.14159265358979323846);
+      const double radius =
+          scenario.sensor_spread_m * std::sqrt(rng.uniform());
+      const Point p = clamp(
+          {anchor.x + radius * std::cos(angle),
+           anchor.y + radius * std::sin(angle)},
+          area);
+      if (scenario.mobile) {
+        sensors.push_back(world.add_sensor(p, scenario.sensor_range_m,
+                                           scenario.min_speed_mps,
+                                           scenario.max_speed_mps,
+                                           rng.split()));
+      } else {
+        sensors.push_back(
+            world.add_static_sensor(p, scenario.sensor_range_m));
+      }
+    }
+  }
+
+  std::unique_ptr<WsanSystem> make_system(SystemKind kind) {
+    switch (kind) {
+      case SystemKind::kRefer:
+        return std::make_unique<ReferAdapter>(sim, world, channel, energy,
+                                              Rng(scenario.seed ^ 0x5EED));
+      case SystemKind::kDaTree:
+        return std::make_unique<baselines::DaTree>(sim, world, channel,
+                                                   flooder);
+      case SystemKind::kDDear:
+        return std::make_unique<baselines::DDear>(sim, world, channel,
+                                                  flooder, energy);
+      case SystemKind::kKautzOverlay:
+        return std::make_unique<baselines::KautzOverlay>(
+            sim, world, channel, flooder, Rng(scenario.seed ^ 0x0E1A));
+    }
+    return nullptr;
+  }
+
+  Scenario scenario;
+  Rng rng;
+  sim::Tracer tracer;
+  std::unique_ptr<sim::JsonlTraceWriter> trace_writer;
+  sim::Simulator sim;
+  sim::World world;
+  sim::EnergyTracker energy;
+  sim::Channel channel;
+  net::Flooder flooder;
+  std::vector<NodeId> actuators;
+  std::vector<NodeId> sensors;
+};
+
+/// Workload + fault-injection driver around one system instance.
+class Driver {
+ public:
+  Driver(Deployment& dep, WsanSystem& system)
+      : dep_(&dep), system_(&system) {}
+
+  RunMetrics run() {
+    RunMetrics metrics;
+    bool built = false, ok = false;
+    system_->build([&](bool r) {
+      built = true;
+      ok = r;
+    });
+    // Give construction up to 300 simulated seconds.
+    for (int i = 0; i < 60 && !built; ++i) {
+      dep_->sim.run_until(dep_->sim.now() + 5.0);
+    }
+    metrics.build_ok = built && ok;
+    if (!metrics.build_ok) return metrics;
+
+    const Scenario& sc = dep_->scenario;
+    t0_ = dep_->sim.now();
+    measure_from_ = t0_ + sc.warmup_s;
+    measure_to_ = measure_from_ + sc.measure_s;
+    if (sc.timeline_bucket_s > 0) {
+      timeline_counts_.resize(static_cast<std::size_t>(
+          std::ceil(sc.measure_s / sc.timeline_bucket_s)));
+    }
+
+    dep_->sim.schedule_at(measure_from_, [this] {
+      comm_at_start_ = dep_->energy.communication_total();
+    });
+    schedule_round(t0_);
+    if (sc.faulty_nodes > 0) schedule_faults(t0_ + sc.fault_period_s);
+
+    dep_->sim.run_until(measure_to_ + 2.0);  // drain in-flight packets
+
+    metrics.packets_sent = sent_;
+    metrics.packets_delivered = delivered_;
+    metrics.qos_delivered = qos_delivered_;
+    metrics.qos_throughput_kbps =
+        static_cast<double>(qos_delivered_) *
+        static_cast<double>(sc.packet_bytes) * 8.0 / 1000.0 / sc.measure_s;
+    metrics.avg_delay_ms =
+        qos_delivered_ ? delay_sum_s_ / static_cast<double>(qos_delivered_) *
+                             1000.0
+                       : 0.0;
+    metrics.delay_p50_ms = percentile(all_delays_ms_, 50);
+    metrics.delay_p95_ms = percentile(all_delays_ms_, 95);
+    metrics.delay_p99_ms = percentile(all_delays_ms_, 99);
+    if (sc.timeline_bucket_s > 0) {
+      const double bits_per_pkt =
+          static_cast<double>(sc.packet_bytes) * 8.0;
+      metrics.qos_timeline_kbps.reserve(timeline_counts_.size());
+      for (const std::uint64_t count : timeline_counts_) {
+        metrics.qos_timeline_kbps.push_back(
+            static_cast<double>(count) * bits_per_pkt / 1000.0 /
+            sc.timeline_bucket_s);
+      }
+    }
+    metrics.delivery_ratio =
+        sent_ ? static_cast<double>(delivered_) / static_cast<double>(sent_)
+              : 0.0;
+    metrics.comm_energy_j = dep_->energy.communication_total() - comm_at_start_;
+    metrics.construction_energy_j = dep_->energy.construction_total();
+    metrics.total_energy_j =
+        metrics.comm_energy_j + metrics.construction_energy_j;
+    return metrics;
+  }
+
+ private:
+  void schedule_round(double at) {
+    if (at >= measure_to_) return;
+    dep_->sim.schedule_at(at, [this, at] {
+      const Scenario& sc = dep_->scenario;
+      // Pick this round's random sources among the alive sensors.
+      std::vector<NodeId> alive;
+      for (NodeId s : dep_->sensors) {
+        if (dep_->world.alive(s)) alive.push_back(s);
+      }
+      if (!alive.empty()) {
+        const int k = std::min<int>(sc.sources_per_round,
+                                    static_cast<int>(alive.size()));
+        for (std::size_t idx :
+             workload_rng_.sample_indices(alive.size(),
+                                          static_cast<std::size_t>(k))) {
+          start_source(alive[idx], at);
+        }
+      }
+      schedule_round(at + sc.round_period_s);
+    });
+  }
+
+  void start_source(NodeId src, double round_start) {
+    const Scenario& sc = dep_->scenario;
+    const double gap = 1.0 / sc.packets_per_second;
+    const int count = static_cast<int>(sc.round_period_s / gap);
+    for (int j = 0; j < count; ++j) {
+      const double at = round_start + j * gap;
+      if (at >= measure_to_) break;
+      dep_->sim.schedule_at(at, [this, src, at] {
+        const bool counted = at >= measure_from_ && at < measure_to_;
+        if (counted) ++sent_;
+        system_->send_event(src, dep_->scenario.packet_bytes,
+                            [this, counted](const Delivery& d) {
+                              if (!counted || !d.delivered) return;
+                              ++delivered_;
+                              all_delays_ms_.push_back(d.delay_s * 1000.0);
+                              if (d.delay_s <=
+                                  dep_->scenario.qos_deadline_s) {
+                                ++qos_delivered_;
+                                delay_sum_s_ += d.delay_s;
+                                record_timeline(dep_->sim.now());
+                              }
+                            });
+      });
+    }
+  }
+
+  void schedule_faults(double at) {
+    if (at >= measure_to_) return;
+    dep_->sim.schedule_at(at, [this, at] {
+      for (NodeId n : faulty_) dep_->world.set_alive(n, true);
+      faulty_.clear();
+      const int k = std::min<int>(dep_->scenario.faulty_nodes,
+                                  static_cast<int>(dep_->sensors.size()));
+      for (std::size_t idx : fault_rng_.sample_indices(
+               dep_->sensors.size(), static_cast<std::size_t>(k))) {
+        const NodeId n = dep_->sensors[idx];
+        dep_->world.set_alive(n, false);
+        faulty_.push_back(n);
+      }
+      schedule_faults(at + dep_->scenario.fault_period_s);
+    });
+  }
+
+  void record_timeline(double at) {
+    if (timeline_counts_.empty()) return;
+    const double rel = at - measure_from_;
+    if (rel < 0) return;
+    const auto bucket = static_cast<std::size_t>(
+        rel / dep_->scenario.timeline_bucket_s);
+    if (bucket < timeline_counts_.size()) ++timeline_counts_[bucket];
+  }
+
+  Deployment* dep_;
+  WsanSystem* system_;
+  Rng workload_rng_{0xBADC0DE};
+  Rng fault_rng_{0xFA171};
+  std::vector<NodeId> faulty_;
+  double t0_ = 0, measure_from_ = 0, measure_to_ = 0;
+  double comm_at_start_ = 0;
+  std::uint64_t sent_ = 0, delivered_ = 0, qos_delivered_ = 0;
+  double delay_sum_s_ = 0;
+  std::vector<double> all_delays_ms_;
+  std::vector<std::uint64_t> timeline_counts_;
+};
+
+}  // namespace
+
+RunMetrics run_once(SystemKind kind, const Scenario& scenario) {
+  Deployment dep(scenario);
+  auto system = dep.make_system(kind);
+  Driver driver(dep, *system);
+  return driver.run();
+}
+
+AggregateMetrics run_repeated(SystemKind kind, Scenario scenario,
+                              int repetitions) {
+  AggregateMetrics agg;
+  const std::uint64_t base_seed = scenario.seed;
+  for (int i = 0; i < repetitions; ++i) {
+    scenario.seed = base_seed + static_cast<std::uint64_t>(i) * 7919;
+    const RunMetrics m = run_once(kind, scenario);
+    if (!m.build_ok) {
+      log_warn("%s: build failed for seed %llu", to_string(kind),
+               static_cast<unsigned long long>(scenario.seed));
+      continue;
+    }
+    agg.qos_throughput_kbps.add(m.qos_throughput_kbps);
+    agg.avg_delay_ms.add(m.avg_delay_ms);
+    agg.delay_p95_ms.add(m.delay_p95_ms);
+    agg.delivery_ratio.add(m.delivery_ratio);
+    agg.comm_energy_j.add(m.comm_energy_j);
+    agg.construction_energy_j.add(m.construction_energy_j);
+    agg.total_energy_j.add(m.total_energy_j);
+  }
+  return agg;
+}
+
+std::vector<SweepPoint> sweep(
+    Scenario base, const std::vector<double>& xs,
+    const std::function<void(Scenario&, double)>& configure,
+    int repetitions) {
+  std::vector<SweepPoint> points;
+  for (double x : xs) {
+    SweepPoint point;
+    point.x = x;
+    for (SystemKind kind : kAllSystems) {
+      Scenario scenario = base;
+      configure(scenario, x);
+      point.by_system.push_back(run_repeated(kind, scenario, repetitions));
+    }
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+void print_series_table(
+    const std::string& title, const std::string& x_label,
+    const std::string& y_label, const std::vector<SweepPoint>& points,
+    const std::function<Summary(const AggregateMetrics&)>& select) {
+  std::printf("\n%s\n", title.c_str());
+  std::printf("y = %s; cells are mean +- 95%% CI\n", y_label.c_str());
+  std::printf("%-14s", x_label.c_str());
+  for (SystemKind kind : kAllSystems) {
+    std::printf("%-22s", to_string(kind));
+  }
+  std::printf("\n");
+  for (const auto& point : points) {
+    std::printf("%-14.2f", point.x);
+    for (const auto& agg : point.by_system) {
+      std::printf("%-22s", select(agg).to_string(1).c_str());
+    }
+    std::printf("\n");
+  }
+  std::fflush(stdout);
+}
+
+bool write_series_csv(const std::string& path, const std::string& x_label,
+                      const std::vector<SweepPoint>& points,
+                      const std::function<Summary(
+                          const AggregateMetrics&)>& select) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  std::fprintf(f, "%s", x_label.c_str());
+  for (SystemKind kind : kAllSystems) {
+    std::fprintf(f, ",%s_mean,%s_ci95", to_string(kind), to_string(kind));
+  }
+  std::fprintf(f, "\n");
+  for (const auto& point : points) {
+    std::fprintf(f, "%g", point.x);
+    for (const auto& agg : point.by_system) {
+      const Summary s = select(agg);
+      std::fprintf(f, ",%g,%g", s.mean(), s.ci95_half_width());
+    }
+    std::fprintf(f, "\n");
+  }
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace refer::harness

@@ -1,0 +1,72 @@
+// The experiment driver: builds a deployment from a Scenario, runs one of
+// the four systems under the paper's workload + fault model, and collects
+// RunMetrics.  Sweeps aggregate several seeds into 95% CIs.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "harness/metrics.hpp"
+#include "harness/scenario.hpp"
+
+namespace refer::harness {
+
+/// The four evaluated systems (paper SIV).
+enum class SystemKind { kRefer, kDaTree, kDDear, kKautzOverlay };
+
+[[nodiscard]] const char* to_string(SystemKind kind) noexcept;
+inline constexpr SystemKind kAllSystems[] = {
+    SystemKind::kRefer, SystemKind::kDaTree, SystemKind::kDDear,
+    SystemKind::kKautzOverlay};
+
+/// Runs one system once under the scenario (seed comes from the
+/// scenario).  Deterministic: same scenario -> same metrics.
+[[nodiscard]] RunMetrics run_once(SystemKind kind, const Scenario& scenario);
+
+/// Aggregated metrics of several seeds.
+struct AggregateMetrics {
+  Summary qos_throughput_kbps;
+  Summary avg_delay_ms;
+  Summary delay_p95_ms;
+  Summary delivery_ratio;
+  Summary comm_energy_j;
+  Summary construction_energy_j;
+  Summary total_energy_j;
+};
+
+/// Runs `repetitions` seeds (scenario.seed + i) and aggregates.
+[[nodiscard]] AggregateMetrics run_repeated(SystemKind kind,
+                                            Scenario scenario,
+                                            int repetitions);
+
+/// One point of a figure: x value plus per-system aggregates.
+struct SweepPoint {
+  double x = 0;
+  std::vector<AggregateMetrics> by_system;  // indexed like kAllSystems
+};
+
+/// Sweeps a scenario parameter: `configure(scenario, x)` mutates the base
+/// scenario for each x value; every system runs `repetitions` seeds.
+[[nodiscard]] std::vector<SweepPoint> sweep(
+    Scenario base, const std::vector<double>& xs,
+    const std::function<void(Scenario&, double)>& configure,
+    int repetitions);
+
+/// Renders a paper-style series table: one row per x value, one column
+/// per system, cells "mean +- ci".
+void print_series_table(const std::string& title, const std::string& x_label,
+                        const std::string& y_label,
+                        const std::vector<SweepPoint>& points,
+                        const std::function<Summary(
+                            const AggregateMetrics&)>& select);
+
+/// Writes the same series as CSV (x, then mean/ci per system) for
+/// plotting; returns false when the file cannot be opened.
+bool write_series_csv(const std::string& path, const std::string& x_label,
+                      const std::vector<SweepPoint>& points,
+                      const std::function<Summary(
+                          const AggregateMetrics&)>& select);
+
+}  // namespace refer::harness

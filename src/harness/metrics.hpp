@@ -1,0 +1,43 @@
+// Metrics of one simulation run, matching the paper's three evaluation
+// quantities (SIV): QoS-guaranteed throughput, average delay of
+// QoS-guaranteed data, and energy consumed in communication /
+// topology construction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace refer::harness {
+
+struct RunMetrics {
+  // Workload accounting.
+  std::uint64_t packets_sent = 0;
+  std::uint64_t packets_delivered = 0;
+  std::uint64_t qos_delivered = 0;  ///< delivered within the QoS deadline
+
+  /// "Throughput": QoS-guaranteed data received by actuators, kbit/s
+  /// (paper Figs. 4, 7).
+  double qos_throughput_kbps = 0;
+  /// Mean delay of QoS-guaranteed packets, ms (paper Figs. 6, 8).
+  double avg_delay_ms = 0;
+  /// Delay distribution of *all delivered* packets, ms: the real-time
+  /// tail the QoS-only mean hides.
+  double delay_p50_ms = 0;
+  double delay_p95_ms = 0;
+  double delay_p99_ms = 0;
+  /// Fraction of sent packets delivered at all.
+  double delivery_ratio = 0;
+
+  // Energy (J), cumulative over the run (paper Figs. 5, 9, 10, 11).
+  double comm_energy_j = 0;          ///< data + maintenance
+  double construction_energy_j = 0;  ///< topology construction
+  double total_energy_j = 0;
+
+  /// QoS throughput per Scenario::timeline_bucket_s bucket (empty when
+  /// the scenario did not request a timeline).
+  std::vector<double> qos_timeline_kbps;
+
+  bool build_ok = false;
+};
+
+}  // namespace refer::harness

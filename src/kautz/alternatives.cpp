@@ -1,0 +1,111 @@
+#include "kautz/alternatives.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace refer::kautz {
+
+DeBruijnGraph::DeBruijnGraph(int d, int k) : d_(d), k_(k) {
+  if (d < 1) throw std::invalid_argument("de Bruijn requires d >= 1");
+  if (k < 1 || k > Label::kMaxLength) {
+    throw std::invalid_argument("de Bruijn requires 1 <= k <= 16");
+  }
+}
+
+std::uint64_t DeBruijnGraph::node_count() const noexcept {
+  std::uint64_t n = 1;
+  for (int i = 0; i < k_; ++i) n *= static_cast<std::uint64_t>(d_);
+  return n;
+}
+
+bool DeBruijnGraph::contains(const Label& l) const noexcept {
+  if (l.length() != k_) return false;
+  for (int i = 0; i < k_; ++i) {
+    if (l[i] >= d_) return false;
+  }
+  return true;
+}
+
+std::vector<Label> DeBruijnGraph::nodes() const {
+  std::vector<Label> out;
+  out.reserve(node_count());
+  // Count in base d.
+  Label cur;
+  for (int i = 0; i < k_; ++i) cur = cur.append(0);
+  for (std::uint64_t n = node_count(), i = 0; i < n; ++i) {
+    out.push_back(cur);
+    for (int pos = k_ - 1; pos >= 0; --pos) {
+      const Digit v = cur[pos];
+      if (v + 1 < d_) {
+        cur = cur.with_digit(pos, static_cast<Digit>(v + 1));
+        break;
+      }
+      cur = cur.with_digit(pos, 0);
+    }
+  }
+  return out;
+}
+
+std::vector<Label> DeBruijnGraph::out_neighbors(const Label& u) const {
+  assert(contains(u));
+  std::vector<Label> out;
+  out.reserve(static_cast<std::size_t>(d_));
+  for (Digit a = 0; a < d_; ++a) out.push_back(u.shift_append(a));
+  return out;
+}
+
+int DeBruijnGraph::distance(const Label& u, const Label& v) noexcept {
+  if (u == v) return 0;
+  return u.length() - overlap(u, v);
+}
+
+HypercubeGraph::HypercubeGraph(int n) : n_(n) {
+  if (n < 1 || n > 62) throw std::invalid_argument("hypercube needs 1<=n<=62");
+}
+
+std::vector<std::uint64_t> HypercubeGraph::neighbors(
+    std::uint64_t node) const {
+  std::vector<std::uint64_t> out;
+  out.reserve(static_cast<std::size_t>(n_));
+  for (int b = 0; b < n_; ++b) out.push_back(node ^ (1ULL << b));
+  return out;
+}
+
+int HypercubeGraph::distance(std::uint64_t a, std::uint64_t b) noexcept {
+  return static_cast<int>(__builtin_popcountll(a ^ b));
+}
+
+std::vector<TopologyTradeoff> compare_topologies(std::uint64_t min_nodes,
+                                                 int degree) {
+  std::vector<TopologyTradeoff> rows;
+  // Kautz K(degree, k): smallest k with enough nodes.
+  {
+    std::uint64_t n = static_cast<std::uint64_t>(degree) + 1;
+    int k = 1;
+    while (n < min_nodes && k < Label::kMaxLength) {
+      n *= static_cast<std::uint64_t>(degree);
+      ++k;
+    }
+    rows.push_back({"Kautz K(d,k)", n, degree, k});
+  }
+  // de Bruijn B(degree, k).
+  {
+    std::uint64_t n = static_cast<std::uint64_t>(degree);
+    int k = 1;
+    while (n < min_nodes && k < Label::kMaxLength) {
+      n *= static_cast<std::uint64_t>(degree);
+      ++k;
+    }
+    rows.push_back({"de Bruijn B(d,k)", n, degree, k});
+  }
+  // Hypercube H(m): smallest m with 2^m >= min_nodes; degree == diameter
+  // == m regardless of the requested degree budget.
+  {
+    int m = 1;
+    while ((1ULL << m) < min_nodes && m < 62) ++m;
+    rows.push_back({"Hypercube H(m)", 1ULL << m, m, m});
+  }
+  return rows;
+}
+
+}  // namespace refer::kautz

@@ -1,0 +1,79 @@
+// Alternative overlay topologies for the paper's SIII-A comparison.
+//
+// Proposition 3.1 rests on two citations: the Kautz graph K(d,k) has more
+// nodes than the de Bruijn graph B(d,k) at the same degree/diameter
+// ((d+1)d^{k-1} vs d^k), and a far smaller diameter than the hypercube at
+// the same node count (k = log_d n vs n-dimensional cube's n).  These
+// classes make the claim checkable: each exposes the same enumeration /
+// neighbourhood / distance interface as kautz::Graph, and the tests and
+// bench/ablation_topology verify the trade-off numerically.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kautz/label.hpp"
+
+namespace refer::kautz {
+
+/// The de Bruijn digraph B(d, k): labels are length-k strings over d
+/// letters (adjacent repeats allowed), arcs u_1...u_k -> u_2...u_k a.
+/// Degree d (counting the self-loop-ish shift), diameter k, d^k nodes.
+class DeBruijnGraph {
+ public:
+  DeBruijnGraph(int d, int k);
+
+  [[nodiscard]] int degree() const noexcept { return d_; }
+  [[nodiscard]] int diameter() const noexcept { return k_; }
+  [[nodiscard]] std::uint64_t node_count() const noexcept;
+
+  [[nodiscard]] bool contains(const Label& l) const noexcept;
+  [[nodiscard]] std::vector<Label> nodes() const;
+  [[nodiscard]] std::vector<Label> out_neighbors(const Label& u) const;
+
+  /// Shift-register shortest-path distance (suffix/prefix overlap),
+  /// analogous to the Kautz distance.
+  [[nodiscard]] static int distance(const Label& u, const Label& v) noexcept;
+
+ private:
+  int d_;
+  int k_;
+};
+
+/// The binary hypercube H(n): 2^n nodes, degree n, diameter n.
+class HypercubeGraph {
+ public:
+  explicit HypercubeGraph(int n);
+
+  [[nodiscard]] int degree() const noexcept { return n_; }
+  [[nodiscard]] int diameter() const noexcept { return n_; }
+  [[nodiscard]] std::uint64_t node_count() const noexcept {
+    return 1ULL << n_;
+  }
+
+  [[nodiscard]] std::vector<std::uint64_t> neighbors(
+      std::uint64_t node) const;
+
+  /// Hamming distance.
+  [[nodiscard]] static int distance(std::uint64_t a,
+                                    std::uint64_t b) noexcept;
+
+ private:
+  int n_;
+};
+
+/// One row of the SIII-A trade-off comparison.
+struct TopologyTradeoff {
+  const char* family;
+  std::uint64_t nodes;
+  int degree;
+  int diameter;
+};
+
+/// For a target overlay size, the smallest configuration of each family
+/// holding at least `min_nodes` nodes with degree <= max_degree (Kautz /
+/// de Bruijn sweep k; hypercube is fixed by size).
+[[nodiscard]] std::vector<TopologyTradeoff> compare_topologies(
+    std::uint64_t min_nodes, int degree);
+
+}  // namespace refer::kautz

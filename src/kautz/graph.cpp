@@ -1,0 +1,119 @@
+#include "kautz/graph.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace refer::kautz {
+
+Graph::Graph(int d, int k) : d_(d), k_(k) {
+  if (d < 1) throw std::invalid_argument("Kautz graph requires d >= 1");
+  if (k < 1 || k > Label::kMaxLength) {
+    throw std::invalid_argument("Kautz graph requires 1 <= k <= 16");
+  }
+}
+
+std::uint64_t Graph::node_count() const noexcept {
+  std::uint64_t n = static_cast<std::uint64_t>(d_) + 1;
+  for (int i = 1; i < k_; ++i) n *= static_cast<std::uint64_t>(d_);
+  return n;
+}
+
+std::uint64_t Graph::edge_count() const noexcept {
+  return node_count() * static_cast<std::uint64_t>(d_);
+}
+
+bool Graph::contains(const Label& l) const noexcept {
+  return l.length() == k_ && l.valid_for_alphabet(alphabet());
+}
+
+std::vector<Label> Graph::nodes() const {
+  const std::uint64_t n = node_count();
+  std::vector<Label> out;
+  out.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    out.push_back(Label::from_index(i, d_, k_));
+  }
+  return out;
+}
+
+std::vector<Label> Graph::out_neighbors(const Label& u) const {
+  assert(contains(u));
+  std::vector<Label> out;
+  out.reserve(static_cast<std::size_t>(d_));
+  for (Digit a = 0; a < alphabet(); ++a) {
+    if (a == u.last()) continue;
+    out.push_back(u.shift_append(a));
+  }
+  return out;
+}
+
+std::vector<Label> Graph::in_neighbors(const Label& u) const {
+  assert(contains(u));
+  std::vector<Label> out;
+  out.reserve(static_cast<std::size_t>(d_));
+  for (Digit b = 0; b < alphabet(); ++b) {
+    if (b == u.first()) continue;
+    out.push_back(u.shift_prepend(b));
+  }
+  return out;
+}
+
+bool Graph::has_arc(const Label& u, const Label& v) const noexcept {
+  if (!contains(u) || !contains(v)) return false;
+  for (int i = 0; i + 1 < k_; ++i) {
+    if (u[i + 1] != v[i]) return false;
+  }
+  // The appended letter must differ from u_k.  For k >= 2 this is implied
+  // by v's own validity (v_{k-1} == u_k != v_k); for k == 1 (complete
+  // digraph, no self-loops) it must be checked explicitly.
+  return k_ > 1 || u.last() != v.last();
+}
+
+std::vector<Label> Graph::hamiltonian_cycle() const {
+  if (k_ == 1) {
+    std::vector<Label> cycle;
+    for (Digit a = 0; a < alphabet(); ++a) cycle.push_back(Label{}.append(a));
+    cycle.push_back(cycle.front());
+    return cycle;
+  }
+  // Hamiltonian cycles of K(d, k) correspond to Eulerian circuits of
+  // K(d, k-1): every node of K(d, k) is an arc of K(d, k-1).
+  const Graph base(d_, k_ - 1);
+  // Per-node cursor over out-letters; Hierholzer, iterative.
+  std::unordered_map<Label, Digit, LabelHash> cursor;
+  auto next_letter = [&](const Label& node) -> std::optional<Digit> {
+    Digit& c = cursor[node];  // value-initialised to 0 on first touch
+    while (c < alphabet()) {
+      const Digit a = c++;
+      if (a != node.last()) return a;
+    }
+    return std::nullopt;
+  };
+
+  std::vector<Label> stack;          // nodes of K(d, k-1)
+  std::vector<Label> circuit_nodes;  // Eulerian circuit, reversed
+  stack.push_back(Label::from_index(0, d_, k_ - 1));
+  while (!stack.empty()) {
+    const Label node = stack.back();
+    if (auto a = next_letter(node)) {
+      stack.push_back(node.shift_append(*a));
+    } else {
+      circuit_nodes.push_back(node);
+      stack.pop_back();
+    }
+  }
+  // circuit_nodes (reversed) is a closed walk using every arc once; turn
+  // consecutive node pairs into K(d, k) labels.
+  std::vector<Label> cycle;
+  cycle.reserve(circuit_nodes.size());
+  for (std::size_t i = circuit_nodes.size(); i-- > 1;) {
+    const Label& from = circuit_nodes[i];
+    const Label& to = circuit_nodes[i - 1];
+    cycle.push_back(from.append(to.last()));
+  }
+  cycle.push_back(cycle.front());
+  return cycle;
+}
+
+}  // namespace refer::kautz

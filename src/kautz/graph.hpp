@@ -1,0 +1,61 @@
+// The Kautz digraph K(d, k) (paper Definition 1, SIII-A).
+//
+// K(d, k) has n = (d+1) d^{k-1} nodes and (d+1) d^k arcs, diameter k, and is
+// d-connected with minimum degree -- the optimum of the graph connection
+// problem (paper Lemma 3.1 / Proposition 3.1).  Between any two distinct
+// nodes there are d internally disjoint paths.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kautz/label.hpp"
+
+namespace refer::kautz {
+
+/// Immutable description of K(d, k); stateless apart from (d, k), so cheap
+/// to copy.  All Label arguments must satisfy contains().
+class Graph {
+ public:
+  /// Requires d >= 1 and 1 <= k <= Label::kMaxLength.
+  Graph(int d, int k);
+
+  [[nodiscard]] int degree() const noexcept { return d_; }
+  [[nodiscard]] int diameter() const noexcept { return k_; }
+  [[nodiscard]] int alphabet() const noexcept { return d_ + 1; }
+
+  /// (d+1) d^{k-1}.
+  [[nodiscard]] std::uint64_t node_count() const noexcept;
+  /// (d+1) d^k == node_count() * d.
+  [[nodiscard]] std::uint64_t edge_count() const noexcept;
+
+  /// True iff the label is a node of this graph.
+  [[nodiscard]] bool contains(const Label& l) const noexcept;
+
+  /// All nodes in dense-index order.  O(n); intended for tests, embedding
+  /// and verification, not per-packet work.
+  [[nodiscard]] std::vector<Label> nodes() const;
+
+  /// The d out-neighbours u_2...u_k a, a != u_k, in increasing digit order.
+  [[nodiscard]] std::vector<Label> out_neighbors(const Label& u) const;
+
+  /// The d in-neighbours b u_1...u_{k-1}, b != u_1, in increasing digit
+  /// order.
+  [[nodiscard]] std::vector<Label> in_neighbors(const Label& u) const;
+
+  /// True iff (u, v) is an arc of the digraph.
+  [[nodiscard]] bool has_arc(const Label& u, const Label& v) const noexcept;
+
+  /// A Hamiltonian cycle of K(d, k) as a node sequence (first node repeated
+  /// at the end).  Exists for every Kautz graph (paper SIII-A); computed by
+  /// Hierholzer's algorithm on K(d, k-1), whose Eulerian circuits are
+  /// exactly the Hamiltonian cycles of K(d, k).  For k == 1 the cycle
+  /// 0 -> 1 -> ... -> d -> 0 over the complete digraph is returned.
+  [[nodiscard]] std::vector<Label> hamiltonian_cycle() const;
+
+ private:
+  int d_;
+  int k_;
+};
+
+}  // namespace refer::kautz

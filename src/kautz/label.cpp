@@ -1,0 +1,183 @@
+#include "kautz/label.hpp"
+
+#include <cassert>
+
+namespace refer::kautz {
+
+Label::Label(std::initializer_list<int> digits) {
+  assert(digits.size() <= static_cast<std::size_t>(kMaxLength));
+  for (int v : digits) {
+    assert(v >= 0 && v <= 255);
+    digits_[static_cast<std::size_t>(len_++)] = static_cast<Digit>(v);
+  }
+}
+
+std::optional<Label> Label::parse(std::string_view s) {
+  if (s.size() > static_cast<std::size_t>(kMaxLength)) return std::nullopt;
+  Label l;
+  for (char c : s) {
+    if (c < '0' || c > '9') return std::nullopt;
+    l.digits_[static_cast<std::size_t>(l.len_++)] = static_cast<Digit>(c - '0');
+  }
+  return l;
+}
+
+bool Label::valid() const noexcept {
+  for (int i = 0; i + 1 < len_; ++i) {
+    if (digits_[static_cast<std::size_t>(i)] ==
+        digits_[static_cast<std::size_t>(i + 1)])
+      return false;
+  }
+  return true;
+}
+
+bool Label::valid_for_alphabet(int alphabet) const noexcept {
+  if (!valid()) return false;
+  for (int i = 0; i < len_; ++i) {
+    if (digits_[static_cast<std::size_t>(i)] >= alphabet) return false;
+  }
+  return true;
+}
+
+Label Label::shift_append(Digit a) const noexcept {
+  assert(len_ > 0);
+  Label out;
+  out.len_ = len_;
+  for (int i = 0; i + 1 < len_; ++i) {
+    out.digits_[static_cast<std::size_t>(i)] =
+        digits_[static_cast<std::size_t>(i + 1)];
+  }
+  out.digits_[static_cast<std::size_t>(len_ - 1)] = a;
+  return out;
+}
+
+Label Label::shift_prepend(Digit b) const noexcept {
+  assert(len_ > 0);
+  Label out;
+  out.len_ = len_;
+  out.digits_[0] = b;
+  for (int i = 0; i + 1 < len_; ++i) {
+    out.digits_[static_cast<std::size_t>(i + 1)] =
+        digits_[static_cast<std::size_t>(i)];
+  }
+  return out;
+}
+
+Label Label::rotate_left() const noexcept {
+  assert(len_ > 0);
+  return shift_append(first());
+}
+
+Label Label::with_digit(int i, Digit v) const noexcept {
+  assert(i >= 0 && i < len_);
+  Label out = *this;
+  out.digits_[static_cast<std::size_t>(i)] = v;
+  return out;
+}
+
+Label Label::suffix(int n) const noexcept {
+  assert(n >= 0 && n <= len_);
+  Label out;
+  out.len_ = n;
+  for (int i = 0; i < n; ++i) {
+    out.digits_[static_cast<std::size_t>(i)] =
+        digits_[static_cast<std::size_t>(len_ - n + i)];
+  }
+  return out;
+}
+
+Label Label::prefix(int n) const noexcept {
+  assert(n >= 0 && n <= len_);
+  Label out;
+  out.len_ = n;
+  for (int i = 0; i < n; ++i) {
+    out.digits_[static_cast<std::size_t>(i)] =
+        digits_[static_cast<std::size_t>(i)];
+  }
+  return out;
+}
+
+Label Label::append(Digit a) const noexcept {
+  assert(len_ < kMaxLength);
+  Label out = *this;
+  out.digits_[static_cast<std::size_t>(out.len_++)] = a;
+  return out;
+}
+
+std::string Label::to_string() const {
+  std::string s;
+  s.reserve(static_cast<std::size_t>(len_));
+  for (int i = 0; i < len_; ++i) {
+    s += static_cast<char>('0' + digits_[static_cast<std::size_t>(i)]);
+  }
+  return s;
+}
+
+std::uint64_t Label::hash() const noexcept {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV offset basis
+  auto mix = [&h](std::uint8_t byte) {
+    h ^= byte;
+    h *= 1099511628211ULL;  // FNV prime
+  };
+  mix(static_cast<std::uint8_t>(len_));
+  for (int i = 0; i < len_; ++i) mix(digits_[static_cast<std::size_t>(i)]);
+  return h;
+}
+
+std::uint64_t Label::to_index(int d) const noexcept {
+  assert(len_ > 0);
+  // First digit: d+1 choices.  Each subsequent digit: d choices (any letter
+  // except its predecessor); rank = digit, minus one if digit > predecessor.
+  std::uint64_t idx = digits_[0];
+  for (int i = 1; i < len_; ++i) {
+    const Digit cur = digits_[static_cast<std::size_t>(i)];
+    const Digit prev = digits_[static_cast<std::size_t>(i - 1)];
+    const std::uint64_t rank = cur - (cur > prev ? 1u : 0u);
+    idx = idx * static_cast<std::uint64_t>(d) + rank;
+  }
+  return idx;
+}
+
+Label Label::from_index(std::uint64_t index, int d, int k) {
+  assert(k > 0 && k <= kMaxLength);
+  // Decode in reverse: the last k-1 positions are base-d ranks, the leading
+  // position is base-(d+1).
+  std::array<std::uint64_t, kMaxLength> ranks{};
+  for (int i = k - 1; i >= 1; --i) {
+    ranks[static_cast<std::size_t>(i)] = index % static_cast<std::uint64_t>(d);
+    index /= static_cast<std::uint64_t>(d);
+  }
+  Label out;
+  out.len_ = k;
+  out.digits_[0] = static_cast<Digit>(index);
+  for (int i = 1; i < k; ++i) {
+    const Digit prev = out.digits_[static_cast<std::size_t>(i - 1)];
+    auto digit = static_cast<Digit>(ranks[static_cast<std::size_t>(i)]);
+    if (digit >= prev) ++digit;  // skip the predecessor letter
+    out.digits_[static_cast<std::size_t>(i)] = digit;
+  }
+  return out;
+}
+
+int overlap(const Label& u, const Label& v) noexcept {
+  assert(u.length() == v.length());
+  const int k = u.length();
+  for (int l = k; l >= 1; --l) {
+    bool match = true;
+    for (int i = 0; i < l; ++i) {
+      if (u[k - l + i] != v[i]) {
+        match = false;
+        break;
+      }
+    }
+    if (match) return l;
+  }
+  return 0;
+}
+
+int kautz_distance(const Label& u, const Label& v) noexcept {
+  if (u == v) return 0;
+  return u.length() - overlap(u, v);
+}
+
+}  // namespace refer::kautz

@@ -1,0 +1,136 @@
+// Kautz labels (paper Definition 1).
+//
+// A node of the Kautz graph K(d, k) is a string u_1 u_2 ... u_k over the
+// alphabet {0, 1, ..., d} (d+1 letters) with no two consecutive letters
+// equal.  An arc leads from u_1...u_k to u_2...u_k a for every letter
+// a != u_k, so each node has exactly d out-neighbours and d in-neighbours.
+//
+// Label stores the digit string with inline storage (no allocation) because
+// routing decisions in the simulator manipulate labels on every hop.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <initializer_list>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace refer::kautz {
+
+/// One letter of the Kautz alphabet.
+using Digit = std::uint8_t;
+
+/// A Kautz digit string of length <= kMaxLength.
+///
+/// Label itself only enforces the "no equal adjacent digits" rule via
+/// valid(); whether the digits fit a particular alphabet (d+1 letters) is
+/// checked by Graph::contains.
+class Label {
+ public:
+  static constexpr int kMaxLength = 16;
+
+  /// Empty label (length 0).
+  constexpr Label() = default;
+
+  /// Builds from explicit digits, e.g. Label{1,2,3,0}.
+  Label(std::initializer_list<int> digits);
+
+  /// Parses a string of digit characters '0'-'9'; returns nullopt on any
+  /// non-digit character or if the string is longer than kMaxLength.
+  [[nodiscard]] static std::optional<Label> parse(std::string_view s);
+
+  [[nodiscard]] constexpr int length() const noexcept { return len_; }
+  [[nodiscard]] constexpr bool empty() const noexcept { return len_ == 0; }
+
+  /// Digit access, 0-based (paper indices are 1-based: u_{i+1} == (*this)[i]).
+  [[nodiscard]] constexpr Digit operator[](int i) const noexcept {
+    return digits_[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] constexpr Digit first() const noexcept { return digits_[0]; }
+  [[nodiscard]] constexpr Digit last() const noexcept {
+    return digits_[static_cast<std::size_t>(len_ - 1)];
+  }
+
+  /// True iff no two consecutive digits are equal (Kautz validity).
+  [[nodiscard]] bool valid() const noexcept;
+
+  /// True iff valid() and every digit is < alphabet (= d+1 for K(d,k)).
+  [[nodiscard]] bool valid_for_alphabet(int alphabet) const noexcept;
+
+  /// The out-neighbour u_2...u_k a (left shift, append a).  Precondition:
+  /// non-empty.  The result is a valid Kautz label iff a != last().
+  [[nodiscard]] Label shift_append(Digit a) const noexcept;
+
+  /// The in-neighbour b u_1...u_{k-1} (right shift, prepend b).
+  [[nodiscard]] Label shift_prepend(Digit b) const noexcept;
+
+  /// Left rotation by one (kid_l in paper SIII-B2): u_2...u_k u_1.
+  /// Note: for labels where u_1 == u_k the result is not a valid Kautz
+  /// label; in K(d,3) actuator KIDs (012, 120, 201) it always is.
+  [[nodiscard]] Label rotate_left() const noexcept;
+
+  /// Replaces digit i.
+  [[nodiscard]] Label with_digit(int i, Digit v) const noexcept;
+
+  /// Suffix of the given length (<= length()).
+  [[nodiscard]] Label suffix(int n) const noexcept;
+  /// Prefix of the given length (<= length()).
+  [[nodiscard]] Label prefix(int n) const noexcept;
+
+  /// Appends a digit (length grows by one).  Precondition: room available.
+  [[nodiscard]] Label append(Digit a) const noexcept;
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr bool operator==(const Label& a, const Label& b) noexcept {
+    if (a.len_ != b.len_) return false;
+    for (int i = 0; i < a.len_; ++i) {
+      if (a.digits_[static_cast<std::size_t>(i)] !=
+          b.digits_[static_cast<std::size_t>(i)])
+        return false;
+    }
+    return true;
+  }
+  friend constexpr auto operator<=>(const Label& a, const Label& b) noexcept {
+    for (int i = 0; i < a.len_ && i < b.len_; ++i) {
+      const auto c = a.digits_[static_cast<std::size_t>(i)] <=>
+                     b.digits_[static_cast<std::size_t>(i)];
+      if (c != std::strong_ordering::equal) return c;
+    }
+    return a.len_ <=> b.len_;
+  }
+
+  /// Stable 64-bit hash (FNV-1a over digits and length).
+  [[nodiscard]] std::uint64_t hash() const noexcept;
+
+  /// Dense index of this label among all valid labels of K(d, k), in
+  /// lexicographic-free enumeration order: index = c_1 * d^{k-1} + sum of
+  /// rank(u_i | u_{i-1}) * d^{k-i}.  Inverse of from_index.
+  [[nodiscard]] std::uint64_t to_index(int d) const noexcept;
+
+  /// Label of K(d, k) with the given dense index in [0, (d+1)d^{k-1}).
+  [[nodiscard]] static Label from_index(std::uint64_t index, int d, int k);
+
+ private:
+  std::array<Digit, kMaxLength> digits_{};
+  int len_ = 0;
+};
+
+/// Hash functor for unordered containers.
+struct LabelHash {
+  std::size_t operator()(const Label& l) const noexcept {
+    return static_cast<std::size_t>(l.hash());
+  }
+};
+
+/// L(U, V): length of the longest suffix of U that is a prefix of V (paper
+/// SIII-B).  For equal labels returns the full length.  Both labels must
+/// have equal length.
+[[nodiscard]] int overlap(const Label& u, const Label& v) noexcept;
+
+/// Kautz shortest-path distance k - L(U, V); 0 iff u == v.
+[[nodiscard]] int kautz_distance(const Label& u, const Label& v) noexcept;
+
+}  // namespace refer::kautz

@@ -1,0 +1,147 @@
+#include "kautz/routing.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace refer::kautz {
+
+const char* to_string(PathClass c) noexcept {
+  switch (c) {
+    case PathClass::kShortest: return "shortest";
+    case PathClass::kV1: return "v1";
+    case PathClass::kConflict: return "conflict";
+    case PathClass::kOther: return "other";
+  }
+  return "?";
+}
+
+Label greedy_successor(const Label& u, const Label& v) noexcept {
+  assert(u != v);
+  const int l = overlap(u, v);
+  // Next needed digit of V is v_{l+1} (0-based v[l]).  l < k because u != v.
+  return u.shift_append(v[l]);
+}
+
+Digit in_digit(const Label& u, const Label& v, Digit alpha) noexcept {
+  const int k = u.length();
+  const int l = overlap(u, v);
+  if (alpha == v[l]) return u[k - l - 1];  // shortest path: u_{k-l}
+  if (alpha == v.first()) return u.last();  // alpha == v_1: in-digit u_k
+  return alpha;
+}
+
+std::optional<Digit> conflict_digit(const Label& u, const Label& v) noexcept {
+  const int k = u.length();
+  const int l = overlap(u, v);
+  const Digit c = u[k - l - 1];  // u_{k-l}, 1-based
+  const Digit v_next = v[l];     // v_{l+1}
+  // Theorem 3.8 row (1) requires u_{k-l} != v_{l+1}; additionally the
+  // out-digit must be a legal arc (c != u_k) and must not already be
+  // claimed by the v_1 class (c != v_1).
+  if (c == v_next || c == u.last() || c == v.first()) return std::nullopt;
+  return c;
+}
+
+std::vector<Route> disjoint_routes(int d, const Label& u, const Label& v) {
+  assert(u != v);
+  assert(u.length() == v.length());
+  const int k = u.length();
+  const int l = overlap(u, v);
+  const Digit v1 = v.first();
+  const Digit v_next = v[l];                       // v_{l+1}
+  const Digit u_conf = u[k - l - 1];               // u_{k-l}
+  const std::optional<Digit> c = conflict_digit(u, v);
+  // The shortest path's in-digit is u_{k-l}; any other path whose natural
+  // in-digit (Prop. 3.3) equals it must be redirected onto the one in-digit
+  // left free, at the cost of path length k+2:
+  //  (a) the paper's conflict node alpha == u_{k-l}: free in-digit is
+  //      v_{l+1} (Prop. 3.7), except when v_{l+1} == v_1 -- not a legal
+  //      in-digit -- where the free in-digit is u_k instead;
+  //  (b) the v1-class node alpha == v_1 when u_{k-l} == u_k: its natural
+  //      in-digit u_k collides with the shortest path's; the free in-digit
+  //      is v_{l+1}.
+  // Cases (a) and (b) are mutually exclusive.  Both go beyond the theorem
+  // as printed, which implicitly assumes v_1, v_{l+1}, u_{k-l}, u_k
+  // pairwise "generic"; see tests/kautz_theorem_test.cpp.
+  const bool v1_collides = (u_conf == u.last()) && v1 != u.last() &&
+                           v1 != v_next;  // case (b) applies to the v1 node
+
+  std::vector<Route> routes;
+  routes.reserve(static_cast<std::size_t>(d));
+  for (Digit a = 0; a < d + 1; ++a) {
+    if (a == u.last()) continue;  // not a legal out-digit
+    Route r;
+    r.successor = u.shift_append(a);
+    if (a == v_next) {
+      r.path_class = PathClass::kShortest;
+      r.nominal_length = k - l;
+    } else if (a == v1 && !v1_collides) {
+      r.path_class = PathClass::kV1;
+      r.nominal_length = k;
+    } else if (a == v1 && v1_collides) {
+      r.path_class = PathClass::kConflict;
+      r.nominal_length = k + 2;
+      r.forced_second_hop = r.successor.shift_append(v_next);  // case (b)
+    } else if (c && a == *c) {
+      r.path_class = PathClass::kConflict;
+      r.nominal_length = k + 2;
+      // Proposition 3.7: forced next hop u_3...u_k u_{k-l} v_{l+1}; in the
+      // v_{l+1} == v_1 sub-case the free in-digit is u_k instead.
+      const Digit gamma = (v_next == v1) ? u.last() : v_next;
+      r.forced_second_hop = r.successor.shift_append(gamma);
+    } else {
+      r.path_class = PathClass::kOther;
+      r.nominal_length = k + 1;
+    }
+    routes.push_back(r);
+  }
+  std::sort(routes.begin(), routes.end(), [](const Route& x, const Route& y) {
+    if (x.nominal_length != y.nominal_length) {
+      return x.nominal_length < y.nominal_length;
+    }
+    return x.successor < y.successor;
+  });
+  return routes;
+}
+
+std::vector<Label> materialize_path(const Label& u, const Label& v,
+                                    const Route& route, int max_hops) {
+  std::vector<Label> path{u, route.successor};
+  if (path.back() == v) return path;
+  if (route.forced_second_hop) {
+    path.push_back(*route.forced_second_hop);
+    if (path.back() == v) return path;
+  }
+  while (path.back() != v) {
+    if (static_cast<int>(path.size()) > max_hops) {
+      throw std::logic_error("materialize_path: exceeded max_hops");
+    }
+    path.push_back(greedy_successor(path.back(), v));
+  }
+  return path;
+}
+
+std::vector<Label> canonical_path(const Label& u, const Label& v,
+                                  const Route& route) {
+  if (route.path_class == PathClass::kShortest) return shortest_path(u, v);
+  std::vector<Label> path{u, route.successor};
+  if (route.forced_second_hop) path.push_back(*route.forced_second_hop);
+  // Append v_1 ... v_k in order, except that the v1-class successor already
+  // carries v_1 as its last digit and resumes from v_2.
+  const int start = route.path_class == PathClass::kV1 ? 1 : 0;
+  for (int i = start; i < v.length(); ++i) {
+    path.push_back(path.back().shift_append(v[i]));
+  }
+  return path;
+}
+
+std::vector<Label> shortest_path(const Label& u, const Label& v) {
+  std::vector<Label> path{u};
+  while (path.back() != v) {
+    path.push_back(greedy_successor(path.back(), v));
+  }
+  return path;
+}
+
+}  // namespace refer::kautz

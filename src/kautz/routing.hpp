@@ -1,0 +1,98 @@
+// ID-only Kautz routing (paper SIII-C1): the greedy shortest protocol,
+// in/out-digits (Definition 3), conflict nodes (Definition 4, Propositions
+// 3.3-3.7) and the d-disjoint-path table of Theorem 3.8.
+//
+// The central result reproduced here: given only its own label U and the
+// destination label V, a node can enumerate the successors of all d
+// internally-disjoint U-V paths together with their (nominal) lengths --
+// no route-discovery flood and no per-destination state.  Theorem 3.8:
+//
+//   successor                       length   condition
+//   u_2...u_k u_{k-l}  (conflict)   k + 2    u_{k-l} != v_{l+1}
+//   u_2...u_k v_{l+1}  (shortest)   k - l    always
+//   u_2...u_k v_1                   k        u_k != v_1
+//   u_2...u_k a_i      (other)      k + 1    a_i not in {v_1, v_{l+1}, u_{k-l}}
+//
+// where l = L(U, V).  The conflict successor must *not* route greedily on
+// its first hop: Proposition 3.7 redirects it to u_3...u_k u_{k-l} v_{l+1}
+// so that its path does not intersect the shortest path.
+//
+// Edge cases beyond the paper's statement (handled here, exercised in
+// tests): when l = 0, v_{l+1} == v_1 and the shortest class absorbs the v_1
+// class; when u_{k-l} equals u_k, v_1 or v_{l+1}, the conflict class is
+// empty.  Classification priority is shortest > v1 > conflict > other.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "kautz/label.hpp"
+
+namespace refer::kautz {
+
+/// Which row of Theorem 3.8 a route belongs to.
+enum class PathClass {
+  kShortest,  ///< out-digit v_{l+1}; length k - l
+  kV1,        ///< out-digit v_1;     length k
+  kConflict,  ///< out-digit u_{k-l}; length k + 2 (with Prop. 3.7 redirect)
+  kOther,     ///< any other out-digit; length k + 1
+};
+
+[[nodiscard]] const char* to_string(PathClass c) noexcept;
+
+/// One of the d disjoint U-V routes as seen from U.
+struct Route {
+  Label successor;      ///< U's next hop on this path
+  PathClass path_class = PathClass::kOther;
+  int nominal_length = 0;  ///< Theorem 3.8 length (upper bound on actual)
+  /// For the conflict route only: the mandatory second hop
+  /// u_3...u_k u_{k-l} v_{l+1} (Proposition 3.7).  Greedy routing resumes
+  /// after it.
+  std::optional<Label> forced_second_hop;
+};
+
+/// Greedy shortest protocol: U's next hop towards V, i.e.
+/// u_2...u_k v_{l+1}.  Precondition: u != v, equal lengths.
+[[nodiscard]] Label greedy_successor(const Label& u, const Label& v) noexcept;
+
+/// In-digit of the path through U's successor with out-digit `alpha`
+/// (Proposition 3.3): u_{k-l} for the shortest path, u_k when alpha == v_1,
+/// alpha otherwise.
+[[nodiscard]] Digit in_digit(const Label& u, const Label& v,
+                             Digit alpha) noexcept;
+
+/// The conflict out-digit u_{k-l} if a conflict route exists for this pair
+/// (Definition 4 extended with the validity conditions above), else nullopt.
+[[nodiscard]] std::optional<Digit> conflict_digit(const Label& u,
+                                                  const Label& v) noexcept;
+
+/// All d disjoint U-V routes, sorted by nominal length ascending (ties in
+/// successor digit order).  Precondition: u != v, both in K(d, *).
+/// This is the routing table a REFER node derives per packet, in O(d + k).
+[[nodiscard]] std::vector<Route> disjoint_routes(int d, const Label& u,
+                                                 const Label& v);
+
+/// Materialises the full node sequence of a route as the *protocol*
+/// executes it: U, successor, (forced second hop,) then greedy hops until
+/// V.  Lengths are <= nominal (greedy can shortcut through coincidental
+/// label overlaps).  `max_hops` guards against routing bugs; throws
+/// std::logic_error if exceeded.
+[[nodiscard]] std::vector<Label> materialize_path(const Label& u,
+                                                  const Label& v,
+                                                  const Route& route,
+                                                  int max_hops = 64);
+
+/// The *canonical* path of Theorem 3.8: the deterministic construction the
+/// theorem's in-digit argument describes.  The shortest route follows the
+/// greedy protocol; every non-shortest route appends, after its successor
+/// (and forced redirect digit, for conflict routes), the digits
+/// v_1 v_2 ... v_k in order.  Canonical paths realise the nominal length
+/// exactly and are the object of the disjointness guarantee.
+[[nodiscard]] std::vector<Label> canonical_path(const Label& u,
+                                                const Label& v,
+                                                const Route& route);
+
+/// The complete shortest path U -> ... -> V under the greedy protocol.
+[[nodiscard]] std::vector<Label> shortest_path(const Label& u, const Label& v);
+
+}  // namespace refer::kautz

@@ -1,0 +1,157 @@
+#include "kautz/verifier.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+namespace refer::kautz {
+
+std::unordered_map<Label, int, LabelHash> bfs_distances(const Graph& graph,
+                                                        const Label& source) {
+  std::unordered_map<Label, int, LabelHash> dist;
+  dist[source] = 0;
+  std::deque<Label> frontier{source};
+  while (!frontier.empty()) {
+    const Label u = frontier.front();
+    frontier.pop_front();
+    const int du = dist[u];
+    for (const Label& w : graph.out_neighbors(u)) {
+      if (dist.emplace(w, du + 1).second) frontier.push_back(w);
+    }
+  }
+  return dist;
+}
+
+int bfs_distance(const Graph& graph, const Label& u, const Label& v) {
+  if (u == v) return 0;
+  std::unordered_map<Label, int, LabelHash> dist;
+  dist[u] = 0;
+  std::deque<Label> frontier{u};
+  while (!frontier.empty()) {
+    const Label x = frontier.front();
+    frontier.pop_front();
+    for (const Label& w : graph.out_neighbors(x)) {
+      if (w == v) return dist[x] + 1;
+      if (dist.emplace(w, dist[x] + 1).second) frontier.push_back(w);
+    }
+  }
+  return -1;  // unreachable (never happens in a Kautz graph)
+}
+
+bool all_paths_valid(const Graph& graph, const Label& u, const Label& v,
+                     const std::vector<std::vector<Label>>& paths) {
+  for (const auto& path : paths) {
+    if (path.size() < 2 || path.front() != u || path.back() != v) return false;
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      if (!graph.has_arc(path[i], path[i + 1])) return false;
+    }
+  }
+  return true;
+}
+
+bool internally_disjoint(const std::vector<std::vector<Label>>& paths) {
+  std::unordered_set<Label, LabelHash> seen;
+  for (const auto& path : paths) {
+    for (std::size_t i = 1; i + 1 < path.size(); ++i) {
+      if (!seen.insert(path[i]).second) return false;
+    }
+  }
+  // Also reject a node appearing twice within one path (a cycle).
+  for (const auto& path : paths) {
+    std::unordered_set<Label, LabelHash> nodes;
+    for (const auto& n : path) {
+      if (!nodes.insert(n).second) return false;
+    }
+  }
+  return true;
+}
+
+bool cross_disjoint(const std::vector<std::vector<Label>>& paths) {
+  std::vector<std::unordered_set<Label, LabelHash>> internal;
+  internal.reserve(paths.size());
+  for (const auto& path : paths) {
+    std::unordered_set<Label, LabelHash> nodes;
+    for (std::size_t i = 1; i + 1 < path.size(); ++i) nodes.insert(path[i]);
+    internal.push_back(std::move(nodes));
+  }
+  for (std::size_t a = 0; a < internal.size(); ++a) {
+    for (std::size_t b = a + 1; b < internal.size(); ++b) {
+      for (const auto& n : internal[a]) {
+        if (internal[b].contains(n)) return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool all_simple(const std::vector<std::vector<Label>>& paths) {
+  for (const auto& path : paths) {
+    std::unordered_set<Label, LabelHash> nodes;
+    for (const auto& n : path) {
+      if (!nodes.insert(n).second) return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+/// One BFS from u to v avoiding `banned` internal nodes; returns the path
+/// (empty when none) and accumulates visit counts.
+std::vector<Label> bfs_avoiding(const Graph& graph, const Label& u,
+                                const Label& v,
+                                const std::unordered_set<Label, LabelHash>& banned,
+                                std::size_t* visited) {
+  std::unordered_map<Label, Label, LabelHash> parent;
+  std::unordered_set<Label, LabelHash> seen{u};
+  std::deque<Label> frontier{u};
+  while (!frontier.empty()) {
+    const Label x = frontier.front();
+    frontier.pop_front();
+    if (visited) ++*visited;
+    for (const Label& w : graph.out_neighbors(x)) {
+      if (w != v && banned.contains(w)) continue;
+      if (!seen.insert(w).second) continue;
+      parent.emplace(w, x);
+      if (w == v) {
+        std::vector<Label> path{v};
+        for (Label cur = v; cur != u;) {
+          cur = parent.at(cur);
+          path.push_back(cur);
+        }
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      frontier.push_back(w);
+    }
+  }
+  return {};
+}
+}  // namespace
+
+std::vector<std::vector<Label>> route_generation_disjoint_paths(
+    const Graph& graph, const Label& u, const Label& v) {
+  std::vector<std::vector<Label>> paths;
+  std::unordered_set<Label, LabelHash> banned;
+  for (int i = 0; i < graph.degree(); ++i) {
+    auto path = bfs_avoiding(graph, u, v, banned, nullptr);
+    if (path.empty()) break;
+    for (std::size_t j = 1; j + 1 < path.size(); ++j) banned.insert(path[j]);
+    paths.push_back(std::move(path));
+  }
+  return paths;
+}
+
+RouteGenCost route_generation_cost(const Graph& graph, const Label& u,
+                                   const Label& v) {
+  RouteGenCost cost;
+  std::unordered_set<Label, LabelHash> banned;
+  for (int i = 0; i < graph.degree(); ++i) {
+    auto path = bfs_avoiding(graph, u, v, banned, &cost.nodes_visited);
+    if (path.empty()) break;
+    for (std::size_t j = 1; j + 1 < path.size(); ++j) banned.insert(path[j]);
+    ++cost.paths_found;
+  }
+  return cost;
+}
+
+}  // namespace refer::kautz

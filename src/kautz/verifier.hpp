@@ -1,0 +1,66 @@
+// Ground-truth verification utilities for the Kautz routing theory.
+//
+// These are deliberately naive (BFS / exhaustive) implementations used by
+// the test-suite and by the micro-benchmarks as the "route generation
+// algorithm" baseline that the paper's related work (BAKE / DFTR [18, 21])
+// relies on and that Theorem 3.8 renders unnecessary.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "kautz/graph.hpp"
+#include "kautz/routing.hpp"
+
+namespace refer::kautz {
+
+/// BFS distances from `source` to every node of the graph.
+[[nodiscard]] std::unordered_map<Label, int, LabelHash> bfs_distances(
+    const Graph& graph, const Label& source);
+
+/// BFS shortest-path length from u to v.
+[[nodiscard]] int bfs_distance(const Graph& graph, const Label& u,
+                               const Label& v);
+
+/// True iff every path is a valid walk in the graph (consecutive labels are
+/// arcs) from u to v.
+[[nodiscard]] bool all_paths_valid(const Graph& graph, const Label& u,
+                                   const Label& v,
+                                   const std::vector<std::vector<Label>>& paths);
+
+/// True iff the paths are internally disjoint: no two paths share a node
+/// other than the common endpoints u and v, and no path revisits a node.
+[[nodiscard]] bool internally_disjoint(
+    const std::vector<std::vector<Label>>& paths);
+
+/// Weaker check: no two *different* paths share an internal node (a path
+/// may still revisit its own nodes).  This is the property the completed
+/// Theorem 3.8 construction satisfies universally; full simplicity can
+/// fail for degenerate periodic destination labels when k > 3 (never for
+/// k == 3, REFER's deployment configuration).  Verified exhaustively in
+/// tests/kautz_property_test.cpp.
+[[nodiscard]] bool cross_disjoint(const std::vector<std::vector<Label>>& paths);
+
+/// True iff no path revisits one of its own nodes.
+[[nodiscard]] bool all_simple(const std::vector<std::vector<Label>>& paths);
+
+/// The DFTR-style route generation algorithm [21]: BFS tree expansion from
+/// u that discovers d internally-disjoint u-v paths by exploring the graph
+/// (message-expensive in a real network; used as the baseline in
+/// bench/micro_routing_bench).  Returns up to d disjoint paths found via
+/// repeated BFS with node removal.
+[[nodiscard]] std::vector<std::vector<Label>> route_generation_disjoint_paths(
+    const Graph& graph, const Label& u, const Label& v);
+
+/// Number of nodes "visited" by route_generation_disjoint_paths; models the
+/// message cost of the tree-building protocol the paper says REFER avoids.
+struct RouteGenCost {
+  std::size_t nodes_visited = 0;
+  std::size_t paths_found = 0;
+};
+[[nodiscard]] RouteGenCost route_generation_cost(const Graph& graph,
+                                                 const Label& u,
+                                                 const Label& v);
+
+}  // namespace refer::kautz

@@ -1,0 +1,209 @@
+#include "net/flooding.hpp"
+
+#include <deque>
+#include <memory>
+
+namespace refer::net {
+
+namespace {
+
+/// Shared per-query flood state, kept alive by the closures.
+struct FloodState {
+  std::unordered_set<NodeId> forwarded;  // flood suppression
+  std::vector<std::vector<NodeId>> arrived_paths;
+  bool finished = false;
+};
+
+}  // namespace
+
+void Flooder::discover(NodeId src, NodeId target, int ttl,
+                       sim::EnergyBucket bucket, DiscoverDone done,
+                       std::size_t query_bytes, double deadline_s) {
+  ++next_query_;
+  auto state = std::make_shared<FloodState>();
+  auto done_shared = std::make_shared<DiscoverDone>(std::move(done));
+
+  // When the first query copy reaches the target, unicast the reply back
+  // along the reverse path; the requester learns the route when the reply
+  // arrives.
+  auto reply = [this, state, done_shared, bucket,
+                query_bytes](std::vector<NodeId> path) {
+    // path = src ... target; reply hops target -> ... -> src.
+    auto reverse = std::make_shared<std::vector<NodeId>>(path.rbegin(),
+                                                         path.rend());
+    auto forward = std::make_shared<std::function<void(std::size_t)>>();
+    *forward = [this, state, done_shared, reverse, forward, bucket,
+                query_bytes, path](std::size_t i) {
+      if (state->finished) return;
+      if (i + 1 >= reverse->size()) {
+        state->finished = true;
+        (*done_shared)(path);
+        return;
+      }
+      channel_->unicast((*reverse)[i], (*reverse)[i + 1], query_bytes, bucket,
+                        [state, forward, i, done_shared](bool ok) {
+                          if (state->finished) return;
+                          if (!ok) {
+                            state->finished = true;
+                            (*done_shared)(std::nullopt);
+                            return;
+                          }
+                          (*forward)(i + 1);
+                        });
+    };
+    (*forward)(0);
+  };
+
+  auto relay = std::make_shared<
+      std::function<void(NodeId, std::vector<NodeId>, int)>>();
+  *relay = [this, state, target, bucket, query_bytes, reply,
+            relay](NodeId at, std::vector<NodeId> path, int ttl_left) {
+    if (state->finished) return;
+    if (state->forwarded.contains(at)) return;  // already forwarded
+    // Only accept over symmetric links: the discovered route must carry
+    // the reply (and later data) back towards the source, so a node that
+    // cannot reach the forwarder ignores the query copy (AODV-style
+    // blacklisting of unidirectional links).
+    if (!path.empty() && !world_->can_reach(at, path.back())) return;
+    state->forwarded.insert(at);
+    path.push_back(at);
+    if (at == target) {
+      if (state->arrived_paths.empty()) {
+        state->arrived_paths.push_back(path);
+        reply(path);
+      }
+      return;
+    }
+    if (ttl_left <= 0) return;
+    channel_->broadcast(at, query_bytes, bucket,
+                        [state, relay, path, ttl_left](NodeId r) {
+                          (*relay)(r, path, ttl_left - 1);
+                        });
+  };
+
+  // Kick off: src "receives" its own query with full TTL.
+  (*relay)(src, {}, ttl);
+
+  sim_->schedule_in(deadline_s, [state, done_shared] {
+    if (state->finished) return;
+    state->finished = true;
+    (*done_shared)(std::nullopt);
+  });
+}
+
+void Flooder::collect_paths(NodeId src, NodeId target, int ttl,
+                            sim::EnergyBucket bucket, CollectDone done,
+                            std::size_t query_bytes, double deadline_s,
+                            double query_tx_range) {
+  ++next_query_;
+  auto state = std::make_shared<FloodState>();
+  auto relay = std::make_shared<
+      std::function<void(NodeId, std::vector<NodeId>, int)>>();
+  *relay = [this, state, target, bucket, query_bytes, query_tx_range,
+            relay](NodeId at, std::vector<NodeId> path, int ttl_left) {
+    if (state->finished) return;
+    path.push_back(at);
+    if (at == target) {
+      state->arrived_paths.push_back(path);  // record every arrival
+      return;
+    }
+    if (!state->forwarded.insert(at).second) return;
+    if (ttl_left <= 0) return;
+    channel_->broadcast(at, query_bytes, bucket,
+                        [state, relay, path, ttl_left](NodeId r) {
+                          (*relay)(r, path, ttl_left - 1);
+                        },
+                        query_tx_range);
+  };
+  (*relay)(src, {}, ttl + 1);  // src itself does not consume TTL
+
+  sim_->schedule_in(deadline_s,
+                    [state, done = std::move(done)] {
+                      state->finished = true;
+                      done(state->arrived_paths);
+                    });
+}
+
+void Flooder::announce(NodeId src, int ttl, sim::EnergyBucket bucket,
+                       std::function<bool(NodeId, int, NodeId)> on_node,
+                       std::size_t bytes) {
+  ++next_query_;
+  auto state = std::make_shared<FloodState>();
+  auto on_node_shared =
+      std::make_shared<std::function<bool(NodeId, int, NodeId)>>(
+          std::move(on_node));
+  auto bounded = std::make_shared<std::function<void(NodeId, NodeId, int)>>();
+  *bounded = [this, state, bucket, bytes, on_node_shared, bounded,
+              ttl](NodeId at, NodeId parent, int hops_travelled) {
+    if (state->forwarded.contains(at)) return;
+    if (*on_node_shared && parent >= 0) {
+      if (!(*on_node_shared)(at, hops_travelled, parent)) return;  // rejected
+    }
+    state->forwarded.insert(at);
+    if (hops_travelled >= ttl) return;
+    channel_->broadcast(at, bytes, bucket,
+                        [bounded, at, hops_travelled](NodeId r) {
+                          (*bounded)(r, at, hops_travelled + 1);
+                        });
+  };
+  (*bounded)(src, -1, 0);
+}
+
+std::optional<std::vector<NodeId>> bfs_path(
+    sim::World& world, NodeId src, NodeId dst,
+    const std::unordered_set<NodeId>* exclude) {
+  if (src == dst) return std::vector<NodeId>{src};
+  std::unordered_map<NodeId, NodeId> parent;
+  std::deque<NodeId> frontier{src};
+  parent[src] = src;
+  while (!frontier.empty()) {
+    const NodeId at = frontier.front();
+    frontier.pop_front();
+    for (NodeId next : world.reachable_from(at)) {
+      if (parent.contains(next)) continue;
+      if (exclude && next != dst && exclude->contains(next)) continue;
+      parent[next] = at;
+      if (next == dst) {
+        std::vector<NodeId> path{dst};
+        for (NodeId cur = dst; cur != src;) {
+          cur = parent[cur];
+          path.push_back(cur);
+        }
+        return std::vector<NodeId>(path.rbegin(), path.rend());
+      }
+      frontier.push_back(next);
+    }
+  }
+  return std::nullopt;
+}
+
+void send_along_path(sim::Channel& channel, std::vector<NodeId> path,
+                     std::size_t bytes, sim::EnergyBucket bucket,
+                     std::function<void(std::size_t, bool)> done) {
+  if (path.size() < 2) {
+    if (done) done(0, true);
+    return;
+  }
+  auto shared_path = std::make_shared<std::vector<NodeId>>(std::move(path));
+  auto done_shared =
+      std::make_shared<std::function<void(std::size_t, bool)>>(std::move(done));
+  auto hop = std::make_shared<std::function<void(std::size_t)>>();
+  *hop = [&channel, shared_path, done_shared, hop, bytes,
+          bucket](std::size_t i) {
+    if (i + 1 >= shared_path->size()) {
+      (*done_shared)(i, true);
+      return;
+    }
+    channel.unicast((*shared_path)[i], (*shared_path)[i + 1], bytes, bucket,
+                    [shared_path, done_shared, hop, i](bool ok) {
+                      if (!ok) {
+                        (*done_shared)(i, false);
+                        return;
+                      }
+                      (*hop)(i + 1);
+                    });
+  };
+  (*hop)(0);
+}
+
+}  // namespace refer::net

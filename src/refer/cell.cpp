@@ -1,0 +1,85 @@
+#include "refer/cell.hpp"
+
+#include <cassert>
+
+#include "kautz/graph.hpp"
+
+namespace refer::core {
+
+std::vector<PathQueryTemplate> k23_query_schedule() {
+  return {
+      // actuator -> successor actuator queries (SIII-B2 step 1)
+      {Label{2, 0, 1}, Label{0, 1, 2}, {Label{0, 1, 0}, Label{1, 0, 1}}},
+      {Label{1, 2, 0}, Label{2, 0, 1}, {Label{2, 0, 2}, Label{0, 2, 0}}},
+      {Label{0, 1, 2}, Label{1, 2, 0}, {Label{1, 2, 1}, Label{2, 1, 2}}},
+      // sensor-to-sensor query (step 2): S_i = 121, S_j = 020
+      {Label{1, 2, 1}, Label{0, 2, 0}, {Label{2, 1, 0}, Label{1, 0, 2}}},
+  };
+}
+
+FillInTemplate k23_fill_in() {
+  return {Label{0, 2, 1}, Label{2, 1, 0}, Label{1, 0, 2}};
+}
+
+void Cell::bind(const Label& label, NodeId node) {
+  if (const auto it = node_by_label_.find(label);
+      it != node_by_label_.end()) {
+    label_by_node_.erase(it->second);
+  }
+  node_by_label_[label] = node;
+  label_by_node_[node] = label;
+}
+
+void Cell::unbind(const Label& label) {
+  const auto it = node_by_label_.find(label);
+  if (it == node_by_label_.end()) return;
+  label_by_node_.erase(it->second);
+  node_by_label_.erase(it);
+}
+
+std::optional<NodeId> Cell::node_of(const Label& label) const {
+  const auto it = node_by_label_.find(label);
+  if (it == node_by_label_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<Label> Cell::label_of(NodeId node) const {
+  const auto it = label_by_node_.find(node);
+  if (it == label_by_node_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<Label> Cell::labels() const {
+  std::vector<Label> out;
+  out.reserve(node_by_label_.size());
+  for (const auto& [l, _] : node_by_label_) out.push_back(l);
+  return out;
+}
+
+std::vector<NodeId> Cell::nodes() const {
+  std::vector<NodeId> out;
+  out.reserve(node_by_label_.size());
+  for (const auto& [_, n] : node_by_label_) out.push_back(n);
+  return out;
+}
+
+bool Cell::complete(int d, int k) const {
+  const kautz::Graph graph(d, k);
+  if (node_by_label_.size() != graph.node_count()) return false;
+  for (const auto& [l, _] : node_by_label_) {
+    if (!graph.contains(l)) return false;
+  }
+  return true;
+}
+
+std::vector<std::optional<NodeId>> Cell::corner_actuators() const {
+  std::vector<std::optional<NodeId>> out;
+  if (!corner_labels_.empty()) {
+    for (const Label& l : corner_labels_) out.push_back(node_of(l));
+    return out;
+  }
+  for (const Label& l : actuator_labels()) out.push_back(node_of(l));
+  return out;
+}
+
+}  // namespace refer::core

@@ -1,0 +1,108 @@
+// A REFER cell: one embedded Kautz graph K(d, 3) anchored at three corner
+// actuators (paper SIII-B, Figure 1).
+#pragma once
+
+#include <array>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "kautz/label.hpp"
+#include "refer/ids.hpp"
+#include "sim/world.hpp"
+
+namespace refer::core {
+
+using kautz::Label;
+using sim::NodeId;
+
+/// The three actuator corner labels of a K(d, 3) cell, in the paper's
+/// order (SIII-B1: vertex colors 0, 1, 2 map to 012, 120, 201).
+[[nodiscard]] inline std::array<Label, 3> actuator_labels() {
+  return {Label{0, 1, 2}, Label{1, 2, 0}, Label{2, 0, 1}};
+}
+
+/// One actuator-to-successor path query of the K(2,3) embedding
+/// (SIII-B2): flood TTL=2 from `from` towards `to`, then assign the two
+/// labels to the two intermediate sensors, in path order.
+struct PathQueryTemplate {
+  Label from;
+  Label to;
+  std::array<Label, 2> assigns;
+};
+
+/// The K(2,3) sensor-assignment schedule, verbatim from the paper:
+///   (5,201) -> (5,010) -> (5,101) -> (5,012)
+///   (5,120) -> (5,202) -> (5,020) -> (5,201)
+///   (5,012) -> (5,121) -> (5,212) -> (5,120)
+/// then S_i = 121 (successor of smallest actuator KID) queries
+/// S_j = 020 (predecessor of largest actuator KID):
+///   121 -> 210 -> 102 -> 020
+/// and finally 021 goes to the common neighbour of 210 and 102.
+[[nodiscard]] std::vector<PathQueryTemplate> k23_query_schedule();
+
+/// The final fill-in label (021) and the two labels whose holders' common
+/// physical neighbour receives it.
+struct FillInTemplate {
+  Label label;
+  Label neighbor_a;
+  Label neighbor_b;
+};
+[[nodiscard]] FillInTemplate k23_fill_in();
+
+/// One embedded cell: the label <-> physical node bijection plus geometry.
+class Cell {
+ public:
+  Cell() = default;
+  Cell(Cid cid, Point center) : cid_(cid), center_(center) {}
+
+  [[nodiscard]] Cid cid() const noexcept { return cid_; }
+  [[nodiscard]] Point center() const noexcept { return center_; }
+
+  /// The labels held by this cell's corner actuators.  The K(2,3)
+  /// protocol uses actuator_labels(); the oracle embedding for general
+  /// K(d,k) picks spread-out labels per cell.
+  [[nodiscard]] const std::vector<Label>& corner_labels() const noexcept {
+    return corner_labels_;
+  }
+  void set_corner_labels(std::vector<Label> labels) {
+    corner_labels_ = std::move(labels);
+  }
+
+  /// Binds a label to a physical node (replacing any previous binding of
+  /// that label).  A node may hold the same KID in several cells
+  /// (actuators do, SIII-B).
+  void bind(const Label& label, NodeId node);
+
+  /// Removes a node's binding (node replacement, SIII-B4).
+  void unbind(const Label& label);
+
+  [[nodiscard]] std::optional<NodeId> node_of(const Label& label) const;
+  [[nodiscard]] std::optional<Label> label_of(NodeId node) const;
+
+  /// All bound labels.
+  [[nodiscard]] std::vector<Label> labels() const;
+  /// All bound nodes.
+  [[nodiscard]] std::vector<NodeId> nodes() const;
+
+  /// Number of bound labels.
+  [[nodiscard]] std::size_t size() const noexcept { return node_by_label_.size(); }
+
+  /// True when every node of K(d, k) is bound.
+  [[nodiscard]] bool complete(int d, int k = 3) const;
+
+  /// The corner actuator physical nodes (in corner_labels order; falls
+  /// back to the K(2,3) actuator_labels() when none were set); empty
+  /// optionals when not yet assigned.
+  [[nodiscard]] std::vector<std::optional<NodeId>> corner_actuators() const;
+
+ private:
+  Cid cid_ = -1;
+  Point center_{};
+  std::vector<Label> corner_labels_;
+  std::unordered_map<Label, NodeId, kautz::LabelHash> node_by_label_;
+  std::unordered_map<NodeId, Label> label_by_node_;
+};
+
+}  // namespace refer::core

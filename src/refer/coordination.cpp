@@ -1,0 +1,189 @@
+#include "refer/coordination.hpp"
+
+#include <limits>
+
+#include "dht/consistent_hash.hpp"
+
+namespace refer::core {
+
+using sim::EnergyBucket;
+
+Point CoordinationService::key_point(const std::string& key) const {
+  return dht::to_unit_point(dht::consistent_hash(key));
+}
+
+std::optional<Cid> CoordinationService::owner_cell(Point p) const {
+  const auto owner = topology_->can().owner_of(p);
+  if (!owner) return std::nullopt;
+  return static_cast<Cid>(*owner);
+}
+
+NodeId CoordinationService::owner_of(const std::string& key) const {
+  const auto cid = owner_cell(key_point(key));
+  if (!cid) return -1;
+  const auto corners = topology_->cell(*cid).corner_actuators();
+  if (corners.empty()) return -1;
+  // Spread keys over the owning cell's corners (actuators are shared
+  // between neighbouring cells, so always using corner 0 would funnel
+  // everything to one hub).
+  const auto pick = dht::consistent_hash(key + "#corner") % corners.size();
+  return corners[pick] ? *corners[pick] : -1;
+}
+
+void CoordinationService::route_to_owner(
+    NodeId from_actuator, const KeyTarget& target,
+    std::function<void(NodeId)> at_owner, std::function<void()> fail,
+    int budget) {
+  if (budget <= 0) {
+    ++stats_.failures;
+    fail();
+    return;
+  }
+  const auto owner_cid = owner_cell(target.point);
+  if (!owner_cid) {
+    ++stats_.failures;
+    fail();
+    return;
+  }
+  const NodeId owner = owner_of(target.key);
+  if (owner < 0) {
+    ++stats_.failures;
+    fail();
+    return;
+  }
+  if (owner == from_actuator) {
+    at_owner(owner);
+    return;
+  }
+  // Inside the owner cell already: one direct corner-to-corner hop.
+  for (Cid cid : topology_->actuator_cells(from_actuator)) {
+    if (cid != *owner_cid) continue;
+    channel_->unicast(from_actuator, owner, request_bytes_,
+                      EnergyBucket::kData,
+                      [this, owner, at_owner = std::move(at_owner),
+                       fail = std::move(fail)](bool ok) mutable {
+                        if (!ok) {
+                          ++stats_.failures;
+                          fail();
+                          return;
+                        }
+                        ++stats_.hops;
+                        at_owner(owner);
+                      });
+    return;
+  }
+  // Greedy CAN step from the best cell this actuator belongs to.
+  const auto& cells = topology_->actuator_cells(from_actuator);
+  if (cells.empty()) {
+    ++stats_.failures;
+    fail();
+    return;
+  }
+  Cid cur = cells.front();
+  double best = std::numeric_limits<double>::infinity();
+  for (Cid cid : cells) {
+    const double d = topology_->can().distance_to(cid, target.point);
+    if (d < best) {
+      best = d;
+      cur = cid;
+    }
+  }
+  const auto next = topology_->can().next_hop(cur, target.point);
+  const Cid next_cid = next ? static_cast<Cid>(*next) : *owner_cid;
+  // Physical hop to a corner actuator of the next cell.
+  NodeId next_actuator = -1;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (const auto& c : topology_->cell(next_cid).corner_actuators()) {
+    if (!c || *c == from_actuator) continue;
+    const double d = distance_sq(world_->position(from_actuator),
+                                 world_->position(*c));
+    if (d < best_d) {
+      best_d = d;
+      next_actuator = *c;
+    }
+  }
+  if (next_actuator < 0) {
+    // This actuator is itself a corner of the next cell; re-evaluate.
+    for (const auto& c : topology_->cell(next_cid).corner_actuators()) {
+      if (c && *c == from_actuator) {
+        route_to_owner(from_actuator, target, std::move(at_owner),
+                       std::move(fail), budget - 1);
+        return;
+      }
+    }
+    ++stats_.failures;
+    fail();
+    return;
+  }
+  channel_->unicast(
+      from_actuator, next_actuator, request_bytes_, EnergyBucket::kData,
+      [this, next_actuator, target, at_owner = std::move(at_owner),
+       fail = std::move(fail), budget](bool ok) mutable {
+        if (!ok) {
+          ++stats_.failures;
+          fail();
+          return;
+        }
+        ++stats_.hops;
+        route_to_owner(next_actuator, target, std::move(at_owner),
+                       std::move(fail), budget - 1);
+      });
+}
+
+void CoordinationService::put(NodeId from_actuator, const std::string& key,
+                              std::string value, PutDone done) {
+  ++stats_.puts;
+  route_to_owner(
+      from_actuator, KeyTarget{key, key_point(key)},
+      [this, key, value = std::move(value),
+       done](NodeId owner) mutable {
+        store_[owner][key] = std::move(value);
+        if (done) done(true);
+      },
+      [done] {
+        if (done) done(false);
+      },
+      /*budget=*/static_cast<int>(topology_->cell_count()) + 2);
+}
+
+void CoordinationService::get(NodeId from_actuator, const std::string& key,
+                              GetDone done) {
+  ++stats_.gets;
+  route_to_owner(
+      from_actuator, KeyTarget{key, key_point(key)},
+      [this, key, done](NodeId owner) {
+        const auto& kv = store_[owner];
+        const auto it = kv.find(key);
+        if (done) {
+          done(it == kv.end() ? std::nullopt
+                              : std::optional<std::string>(it->second));
+        }
+      },
+      [done] {
+        if (done) done(std::nullopt);
+      },
+      static_cast<int>(topology_->cell_count()) + 2);
+}
+
+void CoordinationService::claim(NodeId from_actuator, const std::string& key,
+                                std::string value, ClaimDone done) {
+  ++stats_.claims;
+  route_to_owner(
+      from_actuator, KeyTarget{key, key_point(key)},
+      [this, key, value = std::move(value), done](NodeId owner) mutable {
+        auto& kv = store_[owner];
+        const auto it = kv.find(key);
+        if (it == kv.end()) {
+          kv[key] = value;
+          if (done) done(true, std::move(value));
+          return;
+        }
+        if (done) done(false, it->second);
+      },
+      [done] {
+        if (done) done(false, {});
+      },
+      static_cast<int>(topology_->cell_count()) + 2);
+}
+
+}  // namespace refer::core

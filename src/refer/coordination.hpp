@@ -1,0 +1,90 @@
+// Actuator action coordination over the CAN DHT (paper SIII-B3: "all
+// actuators further constitute a DHT structure for the action
+// coordinations between actuators").
+//
+// A key (e.g. "zone-12/claimed-by") hashes to a point of the CAN unit
+// square; the cell owning that point stores the value at its first
+// corner actuator.  put/get requests travel the same actuator-level CAN
+// path the inter-cell router uses, one physical actuator hop per CAN
+// hop, charged as data traffic.  This is what lets, say, sprinkler
+// actuators deduplicate responses to the same fire without flooding.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "refer/topology.hpp"
+#include "sim/channel.hpp"
+
+namespace refer::core {
+
+class CoordinationService {
+ public:
+  CoordinationService(sim::Simulator& sim, sim::World& world,
+                      sim::Channel& channel, Topology& topology,
+                      std::size_t request_bytes = 96)
+      : sim_(&sim),
+        world_(&world),
+        channel_(&channel),
+        topology_(&topology),
+        request_bytes_(request_bytes) {}
+
+  using PutDone = std::function<void(bool ok)>;
+  using GetDone = std::function<void(std::optional<std::string> value)>;
+
+  /// Stores key -> value at the owner actuator, routed from
+  /// `from_actuator` over the CAN.  Overwrites existing values.
+  void put(NodeId from_actuator, const std::string& key, std::string value,
+           PutDone done);
+
+  /// Fetches the value for a key; the reply travels back over the CAN.
+  void get(NodeId from_actuator, const std::string& key, GetDone done);
+
+  /// Test-and-set: stores `value` only when the key is absent, and
+  /// reports the winning value either way -- the primitive actuators use
+  /// to claim responsibility for an event ("first sprinkler wins").
+  using ClaimDone =
+      std::function<void(bool won, std::string winning_value)>;
+  void claim(NodeId from_actuator, const std::string& key, std::string value,
+             ClaimDone done);
+
+  /// The actuator a key lives on right now (oracle view, for tests).
+  [[nodiscard]] NodeId owner_of(const std::string& key) const;
+
+  struct Stats {
+    std::uint64_t puts = 0;
+    std::uint64_t gets = 0;
+    std::uint64_t claims = 0;
+    std::uint64_t hops = 0;
+    std::uint64_t failures = 0;
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  struct KeyTarget {
+    std::string key;
+    Point point;
+  };
+  /// Routes a request from an actuator to the key's owner actuator;
+  /// `at_owner` runs there.  `fail` runs on routing failure.
+  void route_to_owner(NodeId from_actuator, const KeyTarget& target,
+                      std::function<void(NodeId owner)> at_owner,
+                      std::function<void()> fail, int budget);
+
+  [[nodiscard]] Point key_point(const std::string& key) const;
+  [[nodiscard]] std::optional<Cid> owner_cell(Point p) const;
+
+  sim::Simulator* sim_;
+  sim::World* world_;
+  sim::Channel* channel_;
+  Topology* topology_;
+  std::size_t request_bytes_;
+  Stats stats_;
+  std::unordered_map<NodeId, std::unordered_map<std::string, std::string>>
+      store_;
+};
+
+}  // namespace refer::core

@@ -1,0 +1,117 @@
+#include "refer/delaunay.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace refer::core {
+
+namespace {
+
+struct Tri {
+  int a, b, c;  // indices; negative = super-triangle vertices
+};
+
+/// True iff p lies strictly inside the circumcircle of (a, b, c).
+/// Robustness: the standard incircle determinant; fine for the
+/// non-adversarial actuator layouts of a WSAN.
+bool in_circumcircle(Point p, Point a, Point b, Point c) {
+  const double ax = a.x - p.x, ay = a.y - p.y;
+  const double bx = b.x - p.x, by = b.y - p.y;
+  const double cx = c.x - p.x, cy = c.y - p.y;
+  const double det =
+      (ax * ax + ay * ay) * (bx * cy - cx * by) -
+      (bx * bx + by * by) * (ax * cy - cx * ay) +
+      (cx * cx + cy * cy) * (ax * by - bx * ay);
+  // Orientation of (a, b, c) flips the sign.
+  const double orient =
+      (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+  return orient > 0 ? det > 0 : det < 0;
+}
+
+double edge_len(const std::vector<Point>& pts, int i, int j) {
+  return distance(pts[static_cast<std::size_t>(i)],
+                  pts[static_cast<std::size_t>(j)]);
+}
+
+}  // namespace
+
+std::vector<Triangle> delaunay(const std::vector<Point>& points) {
+  const int n = static_cast<int>(points.size());
+  if (n < 3) return {};
+
+  // Super-triangle enclosing all points.
+  double min_x = points[0].x, max_x = points[0].x;
+  double min_y = points[0].y, max_y = points[0].y;
+  for (const Point& p : points) {
+    min_x = std::min(min_x, p.x);
+    max_x = std::max(max_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_y = std::max(max_y, p.y);
+  }
+  const double d = std::max(max_x - min_x, max_y - min_y) * 10 + 1;
+  const Point mid{(min_x + max_x) / 2, (min_y + max_y) / 2};
+  const Point s1{mid.x - 2 * d, mid.y - d};
+  const Point s2{mid.x + 2 * d, mid.y - d};
+  const Point s3{mid.x, mid.y + 2 * d};
+  auto vertex = [&](int i) -> Point {
+    if (i == -1) return s1;
+    if (i == -2) return s2;
+    if (i == -3) return s3;
+    return points[static_cast<std::size_t>(i)];
+  };
+
+  std::vector<Tri> tris{{-1, -2, -3}};
+  for (int i = 0; i < n; ++i) {
+    const Point p = points[static_cast<std::size_t>(i)];
+    // Find all triangles whose circumcircle contains p.
+    std::vector<Tri> bad;
+    std::vector<Tri> keep;
+    for (const Tri& t : tris) {
+      if (in_circumcircle(p, vertex(t.a), vertex(t.b), vertex(t.c))) {
+        bad.push_back(t);
+      } else {
+        keep.push_back(t);
+      }
+    }
+    // Boundary of the cavity: edges belonging to exactly one bad triangle.
+    std::map<std::pair<int, int>, int> edge_count;
+    auto add_edge = [&edge_count](int u, int v) {
+      if (u > v) std::swap(u, v);
+      ++edge_count[{u, v}];
+    };
+    for (const Tri& t : bad) {
+      add_edge(t.a, t.b);
+      add_edge(t.b, t.c);
+      add_edge(t.a, t.c);
+    }
+    tris = std::move(keep);
+    for (const auto& [edge, count] : edge_count) {
+      if (count != 1) continue;
+      tris.push_back(Tri{edge.first, edge.second, i});
+    }
+  }
+
+  std::vector<Triangle> out;
+  for (const Tri& t : tris) {
+    if (t.a < 0 || t.b < 0 || t.c < 0) continue;  // touches super-triangle
+    Triangle tri{t.a, t.b, t.c};
+    std::sort(tri.begin(), tri.end());
+    out.push_back(tri);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Triangle> filter_by_edge_length(std::vector<Triangle> triangles,
+                                            const std::vector<Point>& points,
+                                            double max_edge) {
+  std::erase_if(triangles, [&](const Triangle& t) {
+    return edge_len(points, t[0], t[1]) > max_edge ||
+           edge_len(points, t[1], t[2]) > max_edge ||
+           edge_len(points, t[0], t[2]) > max_edge;
+  });
+  return triangles;
+}
+
+}  // namespace refer::core

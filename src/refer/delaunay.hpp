@@ -1,0 +1,32 @@
+// Delaunay triangulation (Bowyer-Watson) of the actuator layer.
+//
+// The embedding protocol's starting server "locally partitions the global
+// topology to a series of triangles and assigns a distinct CID to each
+// triangle (cell)" (paper SIII-B1).  Actuators are resource-rich and know
+// their coordinates, so the canonical triangle partition is the Delaunay
+// triangulation, filtered to triangles whose sides actuators can actually
+// bridge (edge length <= actuator range).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/geometry.hpp"
+
+namespace refer::core {
+
+/// A triangle as indices into the input point set, sorted ascending.
+using Triangle = std::array<int, 3>;
+
+/// Bowyer-Watson Delaunay triangulation.  Intended for the small actuator
+/// populations of a WSAN (tens of nodes).  Degenerate inputs (fewer than 3
+/// points, all collinear) yield an empty result.
+[[nodiscard]] std::vector<Triangle> delaunay(const std::vector<Point>& points);
+
+/// Drops triangles with any side longer than `max_edge` (actuators that
+/// cannot talk directly cannot share a cell).
+[[nodiscard]] std::vector<Triangle> filter_by_edge_length(
+    std::vector<Triangle> triangles, const std::vector<Point>& points,
+    double max_edge);
+
+}  // namespace refer::core

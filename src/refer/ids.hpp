@@ -1,0 +1,27 @@
+// REFER node identifiers (paper SIII-B): ID = (CID, KID) where CID is the
+// cell id and KID the Kautz label inside the cell's K(d, k) graph.
+#pragma once
+
+#include <string>
+
+#include "kautz/label.hpp"
+
+namespace refer::core {
+
+/// Cell identifier; assigned so that physically close cells get close ids.
+using Cid = int;
+
+/// Full REFER identifier of a node: which cell, and which Kautz vertex in
+/// that cell's embedded graph.
+struct FullId {
+  Cid cid = -1;
+  kautz::Label kid;
+
+  friend bool operator==(const FullId&, const FullId&) = default;
+
+  [[nodiscard]] std::string to_string() const {
+    return "(" + std::to_string(cid) + "," + kid.to_string() + ")";
+  }
+};
+
+}  // namespace refer::core

@@ -1,0 +1,144 @@
+// The REFER routing protocol (paper SIII-C2).
+//
+// Intra-cell: at every hop the current node derives the d disjoint routes
+// to the destination label from nothing but the two KIDs (Theorem 3.8,
+// kautz::disjoint_routes) and tries their successors in nominal-length
+// order; a failed MAC ACK moves on to the next successor locally -- no
+// notification to the source, no route re-discovery.  Conflict routes
+// carry the Proposition 3.7 forced-second-hop directive in the packet
+// header.
+//
+// Inter-cell: the packet climbs to a corner actuator, hops across the
+// actuator CAN greedily by cell coordinates (SIII-B3), and descends into
+// the destination cell.
+//
+// Physical transmission of one Kautz arc prefers the direct link; when
+// mobility has stretched the arc beyond range, a one-relay detour through
+// a common physical neighbour is used when available (the paper's
+// "multi-hop path with the lowest delay").
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "kautz/routing.hpp"
+#include "net/flooding.hpp"
+#include "refer/topology.hpp"
+#include "sim/channel.hpp"
+
+namespace refer::core {
+
+/// How a relay finds an alternative when the shortest successor fails.
+enum class FailoverMode {
+  /// Theorem 3.8: derive the next disjoint successor from the IDs alone
+  /// (REFER; no messages).
+  kTheorem38,
+  /// BAKE/DFTR-style route generation [18, 21]: flood a route request to
+  /// the destination and follow the discovered path (energy + delay for
+  /// every fail-over).  Provided for the ablation bench.
+  kRouteGeneration,
+};
+
+struct RouterConfig {
+  std::size_t data_bytes = 1000;  ///< default payload per packet
+  int hop_budget_factor = 6;      ///< packet TTL = factor * k Kautz hops
+  bool allow_relay = true;        ///< permit 1-relay detours for long arcs
+  FailoverMode failover = FailoverMode::kTheorem38;
+  int route_gen_ttl = 8;          ///< flood TTL for kRouteGeneration
+  double route_gen_deadline_s = 0.5;
+};
+
+/// Outcome of one end-to-end send.
+struct DeliveryReport {
+  bool delivered = false;
+  double delay_s = 0;      ///< send -> delivery (simulated)
+  int kautz_hops = 0;      ///< overlay hops taken
+  int physical_hops = 0;   ///< frames on the air (>= kautz_hops)
+  NodeId final_node = -1;  ///< the node that terminated the packet
+};
+
+class ReferRouter {
+ public:
+  using DeliveryFn = std::function<void(const DeliveryReport&)>;
+
+  ReferRouter(sim::Simulator& sim, sim::World& world, sim::Channel& channel,
+              Topology& topology, RouterConfig config = {}, Rng rng = Rng(1));
+
+  /// Required for FailoverMode::kRouteGeneration (unused otherwise).
+  void set_flooder(net::Flooder* flooder) noexcept { flooder_ = flooder; }
+
+  /// Sends sensed data from an active Kautz sensor to the nearest corner
+  /// actuator of its cell (the evaluation workload: sensors report events
+  /// to nearby actuators).  Delivery completes at the first actuator
+  /// reached.
+  void send_to_actuator(NodeId src, std::size_t bytes, DeliveryFn done);
+
+  /// Full (CID, KID) addressing: intra-cell ascent, CAN transit, descent.
+  void send_to(NodeId src, FullId dst, std::size_t bytes, DeliveryFn done);
+
+  struct Stats {
+    std::uint64_t packets_sent = 0;
+    std::uint64_t packets_delivered = 0;
+    std::uint64_t packets_dropped = 0;
+    std::uint64_t failovers = 0;      ///< alternate-successor switches
+    std::uint64_t route_gen_floods = 0;  ///< kRouteGeneration discoveries
+    std::uint64_t relays_used = 0;    ///< 1-relay physical detours
+    std::uint64_t can_hops = 0;       ///< inter-cell overlay hops
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  /// In-flight packet state (shared by the hop closures).
+  struct Packet {
+    FullId dst;                    ///< final destination
+    Label current_target;          ///< intra-cell label being routed to
+    bool stop_at_any_actuator;     ///< evaluation workload mode
+    std::size_t bytes;
+    double sent_at;
+    int hops_left;
+    int kautz_hops = 0;
+    int physical_hops = 0;
+    std::optional<Label> forced_next;  ///< Prop. 3.7 directive
+    /// Corner actuators already found unreachable during overlay ascent;
+    /// the packet re-targets the next-nearest corner instead of dying.
+    std::vector<Label> excluded_corners;
+    /// Set while the packet is climbing towards a corner actuator.
+    std::optional<Label> ascent_target;
+    DeliveryFn done;
+  };
+  using PacketPtr = std::shared_ptr<Packet>;
+
+  void start(NodeId src, FullId dst, bool stop_at_any_actuator,
+             std::size_t bytes, DeliveryFn done);
+  /// Greedy walk of a non-overlay sensor's packet towards the nearest
+  /// actuator until an overlay member picks it up.
+  void enter_overlay(NodeId at, int budget, PacketPtr pkt);
+  /// One intra-cell routing step at `node` (which holds `label` in `cid`).
+  void intra_step(Cid cid, Label label, NodeId node, PacketPtr pkt);
+  /// Try the route alternatives starting at index `next_choice`.
+  void try_routes(Cid cid, Label label, NodeId node,
+                  std::vector<kautz::Route> routes, std::size_t next_choice,
+                  PacketPtr pkt);
+  /// At an actuator: either done, or CAN transit toward dst cell.
+  void inter_step(NodeId actuator, PacketPtr pkt);
+  /// Physical transfer of one Kautz arc with optional 1-relay detour.
+  void transmit_arc(NodeId from, NodeId to, PacketPtr pkt,
+                    std::function<void(bool)> done);
+  /// kRouteGeneration fail-over: flood-discover a path from `node` to the
+  /// target label's holder and walk it.
+  void route_generation_failover(Cid cid, NodeId node, Label target,
+                                 PacketPtr pkt);
+  void deliver(NodeId at, PacketPtr pkt);
+  void drop(PacketPtr pkt);
+
+  sim::Simulator* sim_;
+  sim::World* world_;
+  sim::Channel* channel_;
+  Topology* topology_;
+  RouterConfig config_;
+  Rng rng_;
+  net::Flooder* flooder_ = nullptr;
+  Stats stats_;
+};
+
+}  // namespace refer::core

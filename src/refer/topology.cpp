@@ -1,0 +1,82 @@
+#include "refer/topology.hpp"
+
+#include <algorithm>
+
+namespace refer::core {
+
+const char* to_string(Role role) noexcept {
+  switch (role) {
+    case Role::kActuator: return "actuator";
+    case Role::kActive: return "active";
+    case Role::kWait: return "wait";
+    case Role::kSleep: return "sleep";
+  }
+  return "?";
+}
+
+Cid Topology::add_cell(Point center) {
+  const Cid cid = static_cast<Cid>(cells_.size());
+  cells_.emplace_back(cid, center);
+  return cid;
+}
+
+Role Topology::role(NodeId node) const {
+  const auto it = roles_.find(node);
+  return it == roles_.end() ? Role::kSleep : it->second;
+}
+
+void Topology::set_role(NodeId node, Role role) { roles_[node] = role; }
+
+std::optional<FullId> Topology::sensor_binding(NodeId node) const {
+  const auto it = sensor_bindings_.find(node);
+  if (it == sensor_bindings_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Topology::set_sensor_binding(NodeId node, FullId id) {
+  sensor_bindings_[node] = id;
+}
+
+void Topology::clear_sensor_binding(NodeId node) {
+  sensor_bindings_.erase(node);
+}
+
+const std::vector<Cid>& Topology::actuator_cells(NodeId actuator) const {
+  static const std::vector<Cid> kEmpty;
+  const auto it = actuator_cells_.find(actuator);
+  return it == actuator_cells_.end() ? kEmpty : it->second;
+}
+
+void Topology::add_actuator_cell(NodeId actuator, Cid cid) {
+  actuator_cells_[actuator].push_back(cid);
+}
+
+std::optional<Label> Topology::actuator_label(NodeId actuator) const {
+  const auto it = actuator_labels_.find(actuator);
+  if (it == actuator_labels_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Topology::set_actuator_label(NodeId actuator, Label label) {
+  actuator_labels_[actuator] = label;
+}
+
+Point Topology::can_point(Point cell_center, const Rect& area) {
+  const double w = area.width() > 0 ? area.width() : 1;
+  const double h = area.height() > 0 ? area.height() : 1;
+  Point p{(cell_center.x - area.lo.x) / w, (cell_center.y - area.lo.y) / h};
+  // Clamp strictly inside the unit square for CAN.
+  p.x = std::min(std::max(p.x, 0.0), 0.999999);
+  p.y = std::min(std::max(p.y, 0.0), 0.999999);
+  return p;
+}
+
+std::vector<NodeId> Topology::active_sensors() const {
+  std::vector<NodeId> out;
+  for (const auto& [node, role] : roles_) {
+    if (role == Role::kActive) out.push_back(node);
+  }
+  return out;
+}
+
+}  // namespace refer::core

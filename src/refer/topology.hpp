@@ -1,0 +1,79 @@
+// The REFER overlay state shared by the embedding protocol (which builds
+// it), the maintenance protocol (which repairs it) and the router (which
+// reads it).
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "dht/can.hpp"
+#include "refer/cell.hpp"
+#include "refer/ids.hpp"
+
+namespace refer::core {
+
+/// Sensor functional states (paper SIII-B4).  Actuators are always
+/// kActuator; sensors cycle between active (Kautz node), wait (candidate)
+/// and sleep.
+enum class Role { kActuator, kActive, kWait, kSleep };
+
+[[nodiscard]] const char* to_string(Role role) noexcept;
+
+/// The complete embedded overlay.
+class Topology {
+ public:
+  /// Kautz degree of the per-cell graphs K(d, k).
+  [[nodiscard]] int degree() const noexcept { return d_; }
+  void set_degree(int d) noexcept { d_ = d; }
+  /// Kautz diameter k of the per-cell graphs (3 for the paper's protocol).
+  [[nodiscard]] int diameter() const noexcept { return k_; }
+  void set_diameter(int k) noexcept { k_ = k; }
+
+  /// Cells by CID.  CIDs are dense [0, cell_count).
+  [[nodiscard]] std::size_t cell_count() const noexcept { return cells_.size(); }
+  [[nodiscard]] Cell& cell(Cid cid) { return cells_.at(static_cast<std::size_t>(cid)); }
+  [[nodiscard]] const Cell& cell(Cid cid) const {
+    return cells_.at(static_cast<std::size_t>(cid));
+  }
+  Cid add_cell(Point center);
+
+  /// Role bookkeeping (resized on demand).
+  [[nodiscard]] Role role(NodeId node) const;
+  void set_role(NodeId node, Role role);
+
+  /// The active binding of a sensor: which cell and label it serves.
+  /// Actuators belong to several cells; actuator_cells lists them.
+  [[nodiscard]] std::optional<FullId> sensor_binding(NodeId node) const;
+  void set_sensor_binding(NodeId node, FullId id);
+  void clear_sensor_binding(NodeId node);
+
+  [[nodiscard]] const std::vector<Cid>& actuator_cells(NodeId actuator) const;
+  void add_actuator_cell(NodeId actuator, Cid cid);
+  /// The (single) KID an actuator uses in every cell it belongs to.
+  [[nodiscard]] std::optional<Label> actuator_label(NodeId actuator) const;
+  void set_actuator_label(NodeId actuator, Label label);
+
+  /// The inter-cell CAN; members are CIDs.
+  [[nodiscard]] dht::Can& can() noexcept { return can_; }
+  [[nodiscard]] const dht::Can& can() const noexcept { return can_; }
+
+  /// Normalised CAN coordinate of a cell centre within the deployment
+  /// area `area`.
+  [[nodiscard]] static Point can_point(Point cell_center, const Rect& area);
+
+  /// All active Kautz sensors (role == kActive).
+  [[nodiscard]] std::vector<NodeId> active_sensors() const;
+
+ private:
+  int d_ = 2;
+  int k_ = 3;
+  std::vector<Cell> cells_;
+  std::unordered_map<NodeId, Role> roles_;
+  std::unordered_map<NodeId, FullId> sensor_bindings_;
+  std::unordered_map<NodeId, std::vector<Cid>> actuator_cells_;
+  std::unordered_map<NodeId, Label> actuator_labels_;
+  dht::Can can_;
+};
+
+}  // namespace refer::core

@@ -1,0 +1,98 @@
+#include "refer/validate.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "kautz/graph.hpp"
+
+namespace refer::core {
+
+namespace {
+std::string describe(Cid cid, const Label& label) {
+  return "cell " + std::to_string(cid) + " label " + label.to_string();
+}
+}  // namespace
+
+std::vector<std::string> validate_topology(const Topology& topology,
+                                           sim::World& world,
+                                           const ValidationOptions& options) {
+  std::vector<std::string> violations;
+  const kautz::Graph graph(topology.degree(), topology.diameter());
+  std::unordered_map<NodeId, std::string> sensor_seen;
+
+  for (Cid cid = 0; cid < static_cast<Cid>(topology.cell_count()); ++cid) {
+    const Cell& cell = topology.cell(cid);
+    if (options.require_complete_cells &&
+        !cell.complete(topology.degree(), topology.diameter())) {
+      violations.push_back("cell " + std::to_string(cid) + " incomplete: " +
+                           std::to_string(cell.size()) + "/" +
+                           std::to_string(graph.node_count()) + " labels");
+    }
+    const auto& corners = cell.corner_labels();
+    for (const Label& label : cell.labels()) {
+      if (!graph.contains(label)) {
+        violations.push_back(describe(cid, label) + " not a K(d,k) node");
+        continue;
+      }
+      const auto node = cell.node_of(label);
+      if (!node) continue;
+      if (static_cast<std::size_t>(*node) >= world.size()) {
+        violations.push_back(describe(cid, label) + " bound to bogus node");
+        continue;
+      }
+      const bool is_corner =
+          std::find(corners.begin(), corners.end(), label) != corners.end();
+      if (is_corner != world.is_actuator(*node)) {
+        violations.push_back(describe(cid, label) +
+                             (is_corner ? " corner bound to a sensor"
+                                        : " sensor label bound to an actuator"));
+        continue;
+      }
+      if (world.is_actuator(*node)) {
+        const auto& cells = topology.actuator_cells(*node);
+        if (std::find(cells.begin(), cells.end(), cid) == cells.end()) {
+          violations.push_back(describe(cid, label) +
+                               ": actuator does not list the cell");
+        }
+        continue;
+      }
+      // Sensor-side invariants.
+      if (options.require_alive_sensors && !world.alive(*node)) {
+        violations.push_back(describe(cid, label) + " bound to dead sensor " +
+                             std::to_string(*node));
+      }
+      const auto [it, fresh] =
+          sensor_seen.emplace(*node, describe(cid, label));
+      if (!fresh) {
+        violations.push_back("sensor " + std::to_string(*node) +
+                             " bound twice: " + it->second + " and " +
+                             describe(cid, label));
+      }
+      const auto binding = topology.sensor_binding(*node);
+      if (!binding || binding->cid != cid || binding->kid != label) {
+        violations.push_back(describe(cid, label) +
+                             ": reverse binding mismatch");
+      }
+      if (topology.role(*node) != Role::kActive) {
+        violations.push_back(describe(cid, label) + ": holder role is " +
+                             std::string(to_string(topology.role(*node))));
+      }
+    }
+    if (!topology.can().contains(static_cast<int>(cid))) {
+      violations.push_back("cell " + std::to_string(cid) +
+                           " missing from the CAN");
+    }
+  }
+
+  // Every active sensor must hold exactly one binding.
+  for (NodeId s : topology.active_sensors()) {
+    if (!sensor_seen.contains(s)) {
+      violations.push_back("active sensor " + std::to_string(s) +
+                           " holds no label");
+    }
+  }
+  return violations;
+}
+
+}  // namespace refer::core

@@ -1,0 +1,36 @@
+// Overlay invariant checking.
+//
+// validate_topology() audits a Topology against the world and returns
+// every violated invariant as a human-readable string (empty = healthy).
+// Used by the soak tests to prove the overlay stays coherent through
+// hours of simulated mobility, faults and repairs, and handy for
+// debugging embeddings interactively (examples/overlay_inspector).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "refer/topology.hpp"
+#include "sim/world.hpp"
+
+namespace refer::core {
+
+struct ValidationOptions {
+  /// Check that every K(d,k) label of every cell is bound.
+  bool require_complete_cells = true;
+  /// Check that every bound sensor is alive.
+  bool require_alive_sensors = true;
+};
+
+/// Returns all invariant violations found (empty when healthy):
+///  - every cell's labels are valid K(d,k) labels, bound to existing nodes;
+///  - corner labels are bound to actuators, the rest to sensors;
+///  - the sensor <-> (cell,label) binding is a global bijection;
+///  - role bookkeeping matches the bindings (bound sensors are kActive,
+///    active sensors are bound);
+///  - every cell is a CAN member.
+[[nodiscard]] std::vector<std::string> validate_topology(
+    const Topology& topology, sim::World& world,
+    const ValidationOptions& options = {});
+
+}  // namespace refer::core

@@ -1,0 +1,124 @@
+#include "sim/channel.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace refer::sim {
+
+Channel::Channel(Simulator& sim, World& world, EnergyTracker& energy, Rng rng,
+                 ChannelConfig config)
+    : sim_(&sim),
+      world_(&world),
+      energy_(&energy),
+      rng_(rng),
+      config_(config) {}
+
+double Channel::frame_time(std::size_t bytes) const noexcept {
+  return config_.mac_overhead_s +
+         static_cast<double>(bytes) * 8.0 / config_.bandwidth_bps;
+}
+
+Time Channel::reserve_tx_slot(NodeId node, double duration) {
+  if (busy_until_.size() < world_->size()) {
+    busy_until_.resize(world_->size(), 0.0);
+    airtime_.resize(world_->size(), 0.0);
+  }
+  airtime_[static_cast<std::size_t>(node)] += duration;
+  stats_.total_airtime_s += duration;
+  const auto idx = static_cast<std::size_t>(node);
+  const Time start = std::max(sim_->now(), busy_until_[idx]);
+  const Time end = start + duration;
+  busy_until_[idx] = end;
+  if (config_.mac == MacMode::kCsma) {
+    // CSMA: the medium around the sender is occupied; in-range nodes defer.
+    for (NodeId n : world_->reachable_from(node)) {
+      auto& busy = busy_until_[static_cast<std::size_t>(n)];
+      busy = std::max(busy, end);
+    }
+  }
+  return start;
+}
+
+void Channel::unicast(NodeId from, NodeId to, std::size_t bytes,
+                      EnergyBucket bucket, UnicastDone done) {
+  assert(from != to);
+  ++stats_.unicasts_sent;
+  if (tracer_ && tracer_->enabled()) {
+    tracer_->emit({sim_->now(), TraceEvent::kUnicastQueued, from, to, bytes,
+                   bucket});
+  }
+  if (!world_->alive(from)) {
+    // A dead node cannot transmit; its pending sends vanish.
+    ++stats_.unicasts_failed;
+    if (done) sim_->schedule_in(config_.ack_timeout_s, [done] { done(false); });
+    return;
+  }
+  const double airtime =
+      frame_time(bytes) + rng_.uniform(0.0, config_.max_jitter_s);
+  const Time start = reserve_tx_slot(from, airtime);
+  const Time deliver_at = start + airtime;
+  const bool lost = rng_.chance(config_.loss_probability);
+  sim_->schedule_at(deliver_at, [this, from, to, bucket, lost,
+                                 done = std::move(done)] {
+    // TX energy is spent whether or not the frame arrives.
+    energy_->charge_tx(static_cast<std::size_t>(from), bucket);
+    const bool ok = !lost && world_->can_reach(from, to);
+    if (tracer_ && tracer_->enabled()) {
+      tracer_->emit({sim_->now(),
+                     ok ? TraceEvent::kUnicastDelivered
+                        : TraceEvent::kUnicastFailed,
+                     from, to, 0, bucket});
+    }
+    if (ok) {
+      energy_->charge_rx(static_cast<std::size_t>(to), bucket);
+      ++stats_.unicasts_delivered;
+      if (done) done(true);
+    } else {
+      ++stats_.unicasts_failed;
+      if (done) {
+        sim_->schedule_in(config_.ack_timeout_s, [done] { done(false); });
+      }
+    }
+  });
+}
+
+void Channel::broadcast(NodeId from, std::size_t bytes, EnergyBucket bucket,
+                        ReceiveFn on_receive, double range_override) {
+  ++stats_.broadcasts_sent;
+  if (!world_->alive(from)) return;
+  if (tracer_ && tracer_->enabled()) {
+    tracer_->emit({sim_->now(), TraceEvent::kBroadcast, from, -1, bytes,
+                   bucket});
+  }
+  const double airtime =
+      frame_time(bytes) + rng_.uniform(0.0, config_.max_jitter_s);
+  const Time start = reserve_tx_slot(from, airtime);
+  sim_->schedule_at(start + airtime, [this, from, bucket, range_override,
+                                      on_receive = std::move(on_receive)] {
+    energy_->charge_tx(static_cast<std::size_t>(from), bucket);
+    for (NodeId r : world_->reachable_from(from, range_override)) {
+      energy_->charge_rx(static_cast<std::size_t>(r), bucket);
+      ++stats_.broadcast_receptions;
+      if (on_receive) on_receive(r);
+    }
+  });
+}
+
+double Channel::node_airtime_s(NodeId node) const {
+  const auto idx = static_cast<std::size_t>(node);
+  return idx < airtime_.size() ? airtime_[idx] : 0.0;
+}
+
+std::vector<std::pair<NodeId, double>> Channel::busiest_nodes(
+    std::size_t top) const {
+  std::vector<std::pair<NodeId, double>> all;
+  for (std::size_t i = 0; i < airtime_.size(); ++i) {
+    if (airtime_[i] > 0) all.emplace_back(static_cast<NodeId>(i), airtime_[i]);
+  }
+  std::sort(all.begin(), all.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  if (all.size() > top) all.resize(top);
+  return all;
+}
+
+}  // namespace refer::sim

@@ -1,0 +1,68 @@
+// Per-node energy accounting (paper SIV: 2 J/packet transmit,
+// 0.75 J/packet receive [37]).
+//
+// Energy is tracked in the buckets the paper's figures separate:
+// construction (Fig. 10), and communication = data forwarding + topology
+// maintenance (Figs. 5, 9, 11).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace refer::sim {
+
+/// Which figure-level account a transmission belongs to.
+enum class EnergyBucket {
+  kConstruction,  ///< overlay/topology construction messages
+  kData,          ///< application data forwarding
+  kMaintenance,   ///< topology maintenance (probes, repairs, path updates)
+};
+inline constexpr int kEnergyBucketCount = 3;
+
+/// Energy model constants and per-node accumulators.
+class EnergyTracker {
+ public:
+  struct Config {
+    double tx_joules_per_packet = 2.0;
+    double rx_joules_per_packet = 0.75;
+  };
+
+  EnergyTracker() = default;
+  explicit EnergyTracker(Config config) : config_(config) {}
+
+  /// Registers nodes [0, n).
+  void resize(std::size_t n);
+
+  void charge_tx(std::size_t node, EnergyBucket bucket);
+  void charge_rx(std::size_t node, EnergyBucket bucket);
+
+  /// Battery level bookkeeping: nodes start with `initial` joules; charge_*
+  /// drains the battery.  Sensors with drained batteries are detected by
+  /// the maintenance protocol (paper SIII-B4).
+  void set_initial_battery(double initial);
+  [[nodiscard]] double battery(std::size_t node) const;
+
+  /// Total joules spent in one bucket, across all nodes.
+  [[nodiscard]] double total(EnergyBucket bucket) const;
+  /// Communication energy as the paper defines it: data + maintenance.
+  [[nodiscard]] double communication_total() const;
+  /// Construction energy (Fig. 10).
+  [[nodiscard]] double construction_total() const;
+  /// Everything.
+  [[nodiscard]] double grand_total() const;
+
+  /// Per-node spend across all buckets.
+  [[nodiscard]] double node_total(std::size_t node) const;
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+ private:
+  void charge(std::size_t node, EnergyBucket bucket, double joules);
+
+  Config config_{};
+  double initial_battery_ = 1e9;
+  std::vector<double> spent_;                       // per node
+  double bucket_totals_[kEnergyBucketCount] = {0, 0, 0};
+};
+
+}  // namespace refer::sim

@@ -1,0 +1,53 @@
+#include "sim/mobility.hpp"
+
+#include <cassert>
+#include <limits>
+
+namespace refer::sim {
+
+Waypoint::Waypoint(Point fixed_position)
+    : from_(fixed_position),
+      to_(fixed_position),
+      arrive_(std::numeric_limits<double>::infinity()) {}
+
+Waypoint::Waypoint(Point start, Rect area, double min_speed, double max_speed,
+                   Rng rng)
+    : mobile_(true),
+      area_(area),
+      min_speed_(min_speed),
+      max_speed_(max_speed),
+      rng_(rng),
+      from_(start),
+      to_(start) {
+  next_segment(0.0);
+}
+
+Point Waypoint::position_at(Time t) {
+  if (!mobile_) return from_;
+  while (t >= arrive_) next_segment(arrive_);
+  if (speed_ <= 0) return from_;  // pausing
+  const double frac = (t - depart_) / (arrive_ - depart_);
+  return from_ + (to_ - from_) * frac;
+}
+
+void Waypoint::next_segment(Time t) {
+  // Only called at segment boundaries (t == arrive_) or at construction,
+  // so the node is at the end of the previous segment.
+  from_ = to_;
+  depart_ = t;
+  const double speed = rng_.uniform(min_speed_, max_speed_);
+  if (speed < kMinMoveSpeed) {
+    // Pause in place, as a node that drew (close to) zero speed.
+    speed_ = 0;
+    to_ = from_;
+    arrive_ = t + kPauseDuration;
+    return;
+  }
+  speed_ = speed;
+  to_ = Point{rng_.uniform(area_.lo.x, area_.hi.x),
+              rng_.uniform(area_.lo.y, area_.hi.y)};
+  const double dist = distance(from_, to_);
+  arrive_ = t + (dist > 0 ? dist / speed : kPauseDuration);
+}
+
+}  // namespace refer::sim

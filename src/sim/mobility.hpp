@@ -1,0 +1,55 @@
+// Random-waypoint mobility (paper SIV: "each sensor randomly selects a
+// destination point and moves to that point with a speed randomly selected
+// from [0, v_max] m/s").
+//
+// Positions are computed analytically from the current segment, so the
+// model costs nothing while a node is not queried.
+#pragma once
+
+#include "common/geometry.hpp"
+#include "common/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace refer::sim {
+
+/// Per-node random-waypoint state.
+class Waypoint {
+ public:
+  /// A static node (actuators): never moves.
+  Waypoint(Point fixed_position);
+
+  /// A mobile node roaming `area` with speeds uniform in
+  /// [min_speed, max_speed] m/s.  Speeds below kMinMoveSpeed are treated
+  /// as a pause of kPauseDuration at the current waypoint, matching the
+  /// paper's inclusive [0, v] speed range without producing a stuck node.
+  Waypoint(Point start, Rect area, double min_speed, double max_speed,
+           Rng rng);
+
+  /// Position at time t (t must not decrease between calls).
+  [[nodiscard]] Point position_at(Time t);
+
+  [[nodiscard]] bool is_mobile() const noexcept { return mobile_; }
+
+  /// The speed of the current segment (0 when pausing or static).
+  [[nodiscard]] double current_speed() const noexcept { return speed_; }
+
+  static constexpr double kMinMoveSpeed = 0.01;   // m/s
+  static constexpr double kPauseDuration = 10.0;  // s
+
+ private:
+  void next_segment(Time t);
+
+  bool mobile_ = false;
+  Rect area_{};
+  double min_speed_ = 0;
+  double max_speed_ = 0;
+  Rng rng_{0};
+
+  Point from_{};
+  Point to_{};
+  double speed_ = 0;
+  Time depart_ = 0;
+  Time arrive_ = 0;
+};
+
+}  // namespace refer::sim

@@ -1,0 +1,34 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+
+namespace refer::sim {
+
+void Simulator::schedule_at(Time at, EventFn fn) {
+  assert(at >= now_);
+  queue_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+void Simulator::run_until(Time until) {
+  while (!queue_.empty() && queue_.top().at <= until) {
+    // Copy out before pop: the event may schedule more events.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.at;
+    ++executed_;
+    ev.fn();
+  }
+  if (now_ < until) now_ = until;
+}
+
+void Simulator::run_all() {
+  while (!queue_.empty()) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.at;
+    ++executed_;
+    ev.fn();
+  }
+}
+
+}  // namespace refer::sim

@@ -1,0 +1,67 @@
+// Discrete-event simulation kernel: a clock and an event queue.
+//
+// This is the ns-2 replacement substrate (see DESIGN.md, Substitutions).
+// Events are closures ordered by (time, insertion sequence); the sequence
+// tiebreak makes runs bit-deterministic for a fixed seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace refer::sim {
+
+/// Simulation time in seconds.
+using Time = double;
+
+/// Event-driven simulator.  Single-threaded; protocols schedule closures.
+class Simulator {
+ public:
+  using EventFn = std::function<void()>;
+
+  /// Current simulation time.
+  [[nodiscard]] Time now() const noexcept { return now_; }
+
+  /// Schedules `fn` to run at absolute time `at` (>= now()).  Events at
+  /// equal times run in scheduling order.
+  void schedule_at(Time at, EventFn fn);
+
+  /// Schedules `fn` to run `delay` seconds from now.
+  void schedule_in(Time delay, EventFn fn) { schedule_at(now_ + delay, std::move(fn)); }
+
+  /// Runs events until the queue is empty or the next event is later than
+  /// `until`; the clock ends at max(now, until).
+  void run_until(Time until);
+
+  /// Runs everything in the queue.
+  void run_all();
+
+  /// Number of events executed so far (for tests and sanity checks).
+  [[nodiscard]] std::uint64_t events_executed() const noexcept {
+    return executed_;
+  }
+
+  /// Number of events still pending.
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+
+ private:
+  struct Event {
+    Time at;
+    std::uint64_t seq;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  Time now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace refer::sim

@@ -1,0 +1,39 @@
+#include "sim/trace.hpp"
+
+#include <stdexcept>
+
+namespace refer::sim {
+
+const char* to_string(TraceEvent event) noexcept {
+  switch (event) {
+    case TraceEvent::kUnicastQueued: return "unicast_queued";
+    case TraceEvent::kUnicastDelivered: return "unicast_delivered";
+    case TraceEvent::kUnicastFailed: return "unicast_failed";
+    case TraceEvent::kBroadcast: return "broadcast";
+    case TraceEvent::kNodeDown: return "node_down";
+    case TraceEvent::kNodeUp: return "node_up";
+  }
+  return "?";
+}
+
+JsonlTraceWriter::JsonlTraceWriter(const std::string& path)
+    : file_(std::fopen(path.c_str(), "w")) {
+  if (!file_) {
+    throw std::runtime_error("JsonlTraceWriter: cannot open " + path);
+  }
+}
+
+JsonlTraceWriter::~JsonlTraceWriter() {
+  if (file_) std::fclose(file_);
+}
+
+void JsonlTraceWriter::operator()(const TraceRecord& record) {
+  std::fprintf(file_,
+               "{\"t\":%.6f,\"event\":\"%s\",\"from\":%d,\"to\":%d,"
+               "\"bytes\":%zu,\"bucket\":%d}\n",
+               record.t, to_string(record.event), record.from, record.to,
+               record.bytes, static_cast<int>(record.bucket));
+  ++written_;
+}
+
+}  // namespace refer::sim

@@ -1,0 +1,96 @@
+// Structured event tracing (the ns-2 trace-file equivalent).
+//
+// A Tracer receives one TraceRecord per radio event; sinks decide what to
+// do with them (count, filter, write JSONL).  Tracing is off unless a
+// sink is attached, and costs one branch per event when off.
+//
+//   sim::Tracer tracer;
+//   sim::JsonlTraceWriter writer("run.jsonl");
+//   tracer.set_sink(std::ref(writer));
+//   channel.set_tracer(&tracer);
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "sim/energy.hpp"
+#include "sim/world.hpp"
+
+namespace refer::sim {
+
+enum class TraceEvent {
+  kUnicastQueued,     ///< frame accepted for transmission
+  kUnicastDelivered,  ///< frame received (after airtime)
+  kUnicastFailed,     ///< receiver unreachable / frame lost
+  kBroadcast,         ///< broadcast frame put on the air
+  kNodeDown,          ///< node became faulty
+  kNodeUp,            ///< node recovered
+};
+
+[[nodiscard]] const char* to_string(TraceEvent event) noexcept;
+
+struct TraceRecord {
+  double t = 0;
+  TraceEvent event = TraceEvent::kUnicastQueued;
+  NodeId from = -1;
+  NodeId to = -1;  ///< -1 for broadcasts / node events
+  std::size_t bytes = 0;
+  EnergyBucket bucket = EnergyBucket::kData;
+};
+
+/// Dispatch point; protocols and the channel emit through this.
+class Tracer {
+ public:
+  using Sink = std::function<void(const TraceRecord&)>;
+
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+  void clear_sink() { sink_ = nullptr; }
+  [[nodiscard]] bool enabled() const noexcept {
+    return static_cast<bool>(sink_);
+  }
+
+  void emit(const TraceRecord& record) {
+    if (sink_) sink_(record);
+  }
+
+ private:
+  Sink sink_;
+};
+
+/// Writes records as JSON lines: one object per event, machine-parsable.
+class JsonlTraceWriter {
+ public:
+  /// Opens `path` for writing; throws std::runtime_error on failure.
+  explicit JsonlTraceWriter(const std::string& path);
+  ~JsonlTraceWriter();
+  JsonlTraceWriter(const JsonlTraceWriter&) = delete;
+  JsonlTraceWriter& operator=(const JsonlTraceWriter&) = delete;
+
+  void operator()(const TraceRecord& record);
+
+  [[nodiscard]] std::uint64_t records_written() const noexcept {
+    return written_;
+  }
+
+ private:
+  std::FILE* file_;
+  std::uint64_t written_ = 0;
+};
+
+/// Sink that only counts events per type (tests, cheap monitoring).
+class CountingTraceSink {
+ public:
+  void operator()(const TraceRecord& record) {
+    ++counts_[static_cast<std::size_t>(record.event)];
+  }
+  [[nodiscard]] std::uint64_t count(TraceEvent event) const {
+    return counts_[static_cast<std::size_t>(event)];
+  }
+
+ private:
+  std::uint64_t counts_[6] = {};
+};
+
+}  // namespace refer::sim

@@ -1,0 +1,100 @@
+#include "sim/world.hpp"
+
+#include <cassert>
+#include <limits>
+
+#include "sim/trace.hpp"
+
+namespace refer::sim {
+
+NodeId World::add_actuator(Point pos, double range) {
+  nodes_.push_back(Node{NodeKind::kActuator, range, true, Waypoint(pos)});
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+NodeId World::add_sensor(Point pos, double range, double min_speed,
+                         double max_speed, Rng rng) {
+  nodes_.push_back(Node{NodeKind::kSensor, range, true,
+                        Waypoint(pos, area_, min_speed, max_speed, rng)});
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+NodeId World::add_static_sensor(Point pos, double range) {
+  nodes_.push_back(Node{NodeKind::kSensor, range, true, Waypoint(pos)});
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+NodeKind World::kind(NodeId id) const {
+  assert(id >= 0 && static_cast<std::size_t>(id) < nodes_.size());
+  return nodes_[static_cast<std::size_t>(id)].kind;
+}
+
+double World::range(NodeId id) const {
+  assert(id >= 0 && static_cast<std::size_t>(id) < nodes_.size());
+  return nodes_[static_cast<std::size_t>(id)].range;
+}
+
+Point World::position(NodeId id) {
+  assert(id >= 0 && static_cast<std::size_t>(id) < nodes_.size());
+  return nodes_[static_cast<std::size_t>(id)].motion.position_at(sim_->now());
+}
+
+bool World::alive(NodeId id) const {
+  assert(id >= 0 && static_cast<std::size_t>(id) < nodes_.size());
+  return nodes_[static_cast<std::size_t>(id)].alive;
+}
+
+void World::set_alive(NodeId id, bool alive) {
+  assert(id >= 0 && static_cast<std::size_t>(id) < nodes_.size());
+  auto& node = nodes_[static_cast<std::size_t>(id)];
+  if (node.alive != alive && tracer_ && tracer_->enabled()) {
+    tracer_->emit({sim_->now(),
+                   alive ? TraceEvent::kNodeUp : TraceEvent::kNodeDown, id,
+                   -1, 0, EnergyBucket::kMaintenance});
+  }
+  node.alive = alive;
+}
+
+bool World::can_reach(NodeId from, NodeId to) {
+  if (from == to) return false;
+  if (!alive(from) || !alive(to)) return false;
+  return within_range(position(from), position(to), range(from));
+}
+
+std::vector<NodeId> World::reachable_from(NodeId from, double range_override) {
+  std::vector<NodeId> out;
+  if (!alive(from)) return out;
+  const Point p = position(from);
+  const double r = range_override > 0 ? range_override : range(from);
+  for (NodeId i = 0; static_cast<std::size_t>(i) < nodes_.size(); ++i) {
+    if (i == from || !alive(i)) continue;
+    if (within_range(p, position(i), r)) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<NodeId> World::all_of(NodeKind k) const {
+  std::vector<NodeId> out;
+  for (NodeId i = 0; static_cast<std::size_t>(i) < nodes_.size(); ++i) {
+    if (nodes_[static_cast<std::size_t>(i)].kind == k) out.push_back(i);
+  }
+  return out;
+}
+
+NodeId World::closest_actuator(NodeId id) {
+  NodeId best = -1;
+  double best_d = std::numeric_limits<double>::infinity();
+  const Point p = position(id);
+  for (NodeId i = 0; static_cast<std::size_t>(i) < nodes_.size(); ++i) {
+    const auto& n = nodes_[static_cast<std::size_t>(i)];
+    if (n.kind != NodeKind::kActuator || !n.alive || i == id) continue;
+    const double d = distance_sq(p, position(i));
+    if (d < best_d) {
+      best_d = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace refer::sim

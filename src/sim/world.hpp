@@ -1,0 +1,92 @@
+// The physical deployment: node kinds, positions (via mobility), liveness
+// and range queries.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "common/rng.hpp"
+#include "sim/mobility.hpp"
+#include "sim/simulator.hpp"
+
+namespace refer::sim {
+class Tracer;  // sim/trace.hpp
+}
+
+namespace refer::sim {
+
+/// Physical node index; dense, assigned by World::add_*.
+using NodeId = int;
+
+enum class NodeKind { kSensor, kActuator };
+
+/// Deployment area + node population.  Owns per-node mobility state and
+/// liveness flags; all geometric queries evaluate positions at the current
+/// simulator time.
+class World {
+ public:
+  World(Rect area, Simulator& sim) : area_(area), sim_(&sim) {}
+
+  /// Adds a static actuator (paper: actuators are resource-rich and
+  /// stationary; transmission range 250 m in the evaluation).
+  NodeId add_actuator(Point pos, double range);
+
+  /// Adds a mobile sensor (range 100 m in the evaluation) with
+  /// random-waypoint speeds uniform in [min_speed, max_speed].
+  NodeId add_sensor(Point pos, double range, double min_speed,
+                    double max_speed, Rng rng);
+
+  /// Adds a stationary sensor (ablation: static networks).
+  NodeId add_static_sensor(Point pos, double range);
+
+  [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
+  [[nodiscard]] NodeKind kind(NodeId id) const;
+  [[nodiscard]] bool is_actuator(NodeId id) const {
+    return kind(id) == NodeKind::kActuator;
+  }
+  [[nodiscard]] double range(NodeId id) const;
+  [[nodiscard]] const Rect& area() const noexcept { return area_; }
+
+  /// Position at the current simulation time.
+  [[nodiscard]] Point position(NodeId id);
+
+  /// Liveness: faulty/broken-down nodes neither transmit nor receive.
+  [[nodiscard]] bool alive(NodeId id) const;
+  void set_alive(NodeId id, bool alive);
+
+  /// Attaches a tracer: liveness flips emit kNodeDown / kNodeUp events.
+  void set_tracer(Tracer* tracer) noexcept { tracer_ = tracer; }
+
+  /// True iff `from` can reach `to` right now: both alive and the distance
+  /// is within the *sender's* transmission range.
+  [[nodiscard]] bool can_reach(NodeId from, NodeId to);
+
+  /// All alive nodes within `from`'s transmission range (excluding
+  /// itself).  O(n) scan; fine for the evaluation scales (<= ~1000).
+  /// `range_override` > 0 models transmit power control (used by the
+  /// embedding protocol's path queries); 0 uses the node's own range.
+  [[nodiscard]] std::vector<NodeId> reachable_from(NodeId from,
+                                                   double range_override = 0);
+
+  /// All node ids of one kind.
+  [[nodiscard]] std::vector<NodeId> all_of(NodeKind kind) const;
+
+  /// The alive actuator physically closest to `id` (or -1 if none).
+  [[nodiscard]] NodeId closest_actuator(NodeId id);
+
+ private:
+  struct Node {
+    NodeKind kind;
+    double range;
+    bool alive = true;
+    Waypoint motion;
+  };
+
+  Rect area_;
+  Simulator* sim_;
+  Tracer* tracer_ = nullptr;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace refer::sim

@@ -1,0 +1,262 @@
+// Unit tests for the DHT module: consistent hashing and the CAN overlay.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+#include "dht/can.hpp"
+#include "dht/consistent_hash.hpp"
+
+namespace refer::dht {
+namespace {
+
+TEST(ConsistentHash, StableAndSpread) {
+  EXPECT_EQ(consistent_hash("actuator-1"), consistent_hash("actuator-1"));
+  EXPECT_NE(consistent_hash("actuator-1"), consistent_hash("actuator-2"));
+  EXPECT_NE(consistent_hash(std::uint64_t{1}), consistent_hash(std::uint64_t{2}));
+}
+
+TEST(ConsistentHash, UnitMappingInRange) {
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    const double u = to_unit(consistent_hash(i));
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const Point p = to_unit_point(consistent_hash(i));
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LT(p.x, 1.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LT(p.y, 1.0);
+  }
+}
+
+TEST(ConsistentHash, RoughlyUniform) {
+  int buckets[10] = {};
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    ++buckets[static_cast<int>(to_unit(consistent_hash(i)) * 10)];
+  }
+  for (int b : buckets) {
+    EXPECT_GT(b, 700);
+    EXPECT_LT(b, 1300);
+  }
+}
+
+TEST(Can, FirstMemberOwnsEverything) {
+  Can can;
+  EXPECT_TRUE(can.join(0, {0.3, 0.3}));
+  EXPECT_EQ(can.size(), 1u);
+  EXPECT_DOUBLE_EQ(can.area_of(0), 1.0);
+  EXPECT_EQ(can.owner_of({0.9, 0.9}), std::optional<MemberId>(0));
+}
+
+TEST(Can, RejectsDuplicateAndOutOfRange) {
+  Can can;
+  EXPECT_TRUE(can.join(0, {0.5, 0.5}));
+  EXPECT_FALSE(can.join(0, {0.1, 0.1}));
+  EXPECT_FALSE(can.join(1, {1.5, 0.5}));
+}
+
+TEST(Can, JoinSplitsZones) {
+  Can can;
+  can.join(0, {0.25, 0.5});
+  can.join(1, {0.75, 0.5});  // splits along x: 1 takes right half
+  EXPECT_DOUBLE_EQ(can.area_of(0), 0.5);
+  EXPECT_DOUBLE_EQ(can.area_of(1), 0.5);
+  EXPECT_EQ(can.owner_of({0.1, 0.5}), std::optional<MemberId>(0));
+  EXPECT_EQ(can.owner_of({0.9, 0.5}), std::optional<MemberId>(1));
+}
+
+TEST(Can, TessellationInvariant) {
+  // After any number of joins the zones partition the unit square: every
+  // point has exactly one owner and the areas sum to 1.
+  Can can;
+  Rng rng(5);
+  for (MemberId m = 0; m < 32; ++m) {
+    ASSERT_TRUE(can.join(m, {rng.uniform(), rng.uniform()}));
+  }
+  double total = 0;
+  for (MemberId m : can.members()) total += can.area_of(m);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  for (int i = 0; i < 500; ++i) {
+    const Point p{rng.uniform(), rng.uniform()};
+    EXPECT_TRUE(can.owner_of(p).has_value());
+  }
+}
+
+TEST(Can, NeighborsAreSymmetric) {
+  Can can;
+  Rng rng(7);
+  for (MemberId m = 0; m < 16; ++m) {
+    can.join(m, {rng.uniform(), rng.uniform()});
+  }
+  for (MemberId m : can.members()) {
+    for (MemberId n : can.neighbors(m)) {
+      const auto back = can.neighbors(n);
+      EXPECT_NE(std::find(back.begin(), back.end(), m), back.end())
+          << n << " does not list " << m;
+    }
+  }
+}
+
+TEST(Can, DiagonalZonesAreNotNeighbors) {
+  Can can;
+  can.join(0, {0.25, 0.25});
+  can.join(1, {0.75, 0.25});  // right half
+  can.join(2, {0.25, 0.75});  // 0 splits vertically
+  can.join(3, {0.75, 0.75});  // 1 splits vertically
+  // 0 = lower-left, 1 = lower-right, 2 = upper-left, 3 = upper-right.
+  const auto n0 = can.neighbors(0);
+  EXPECT_EQ(n0, (std::vector<MemberId>{1, 2}));  // 3 only touches corner
+}
+
+TEST(Can, GreedyRoutingReachesOwner) {
+  Can can;
+  Rng rng(11);
+  for (MemberId m = 0; m < 24; ++m) {
+    can.join(m, {rng.uniform(), rng.uniform()});
+  }
+  for (int i = 0; i < 200; ++i) {
+    const Point target{rng.uniform(), rng.uniform()};
+    const auto owner = can.owner_of(target);
+    ASSERT_TRUE(owner.has_value());
+    const MemberId start =
+        can.members()[rng.below(can.size())];
+    const auto path = can.route(start, target);
+    ASSERT_FALSE(path.empty());
+    EXPECT_EQ(path.front(), start);
+    EXPECT_EQ(path.back(), *owner) << "greedy must deliver";
+    // No revisits (greedy strictly improves).
+    std::set<MemberId> unique(path.begin(), path.end());
+    EXPECT_EQ(unique.size(), path.size());
+  }
+}
+
+TEST(Can, NextHopIsNulloptAtOwner) {
+  Can can;
+  can.join(0, {0.25, 0.5});
+  can.join(1, {0.75, 0.5});
+  EXPECT_EQ(can.next_hop(0, {0.1, 0.5}), std::nullopt);
+  EXPECT_EQ(can.next_hop(0, {0.9, 0.5}), std::optional<MemberId>(1));
+}
+
+TEST(Can, LeaveHandsZoneToSmallestNeighbor) {
+  Can can;
+  can.join(0, {0.25, 0.5});
+  can.join(1, {0.75, 0.5});
+  can.join(2, {0.9, 0.75});  // splits 1's zone
+  const double before = can.area_of(2);
+  EXPECT_TRUE(can.leave(1));
+  EXPECT_FALSE(can.contains(1));
+  // 1's area went somewhere; total still 1.
+  double total = 0;
+  for (MemberId m : can.members()) total += can.area_of(m);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_GT(can.area_of(2) + can.area_of(0), before);
+  // Routing still works.
+  const auto owner = can.owner_of({0.75, 0.25});
+  EXPECT_TRUE(owner.has_value());
+}
+
+TEST(Can, LastMemberCannotLeave) {
+  Can can;
+  can.join(0, {0.5, 0.5});
+  EXPECT_FALSE(can.leave(0));
+  EXPECT_FALSE(can.leave(42));
+}
+
+TEST(Can, RoutingSurvivesChurn) {
+  Can can;
+  Rng rng(13);
+  for (MemberId m = 0; m < 20; ++m) {
+    can.join(m, {rng.uniform(), rng.uniform()});
+  }
+  for (MemberId m = 0; m < 8; ++m) can.leave(m);
+  for (int i = 0; i < 100; ++i) {
+    const Point target{rng.uniform(), rng.uniform()};
+    const auto owner = can.owner_of(target);
+    ASSERT_TRUE(owner.has_value());
+    const auto path = can.route(can.members().front(), target);
+    EXPECT_EQ(path.back(), *owner);
+  }
+}
+
+TEST(Can, EveryMemberOwnsItsJoinPoint) {
+  // The invariant REFER's inter-cell routing needs: routing towards a
+  // cell's coordinate must terminate at that cell.  A blind midpoint
+  // split can steal an earlier member's point (this is a real CAN
+  // subtlety); the between-points split rules it out.
+  Can can;
+  Rng rng(17);
+  std::vector<Point> pts;
+  for (MemberId m = 0; m < 64; ++m) {
+    const Point p{rng.uniform(), rng.uniform()};
+    ASSERT_TRUE(can.join(m, p));
+    pts.push_back(p);
+  }
+  for (MemberId m = 0; m < 64; ++m) {
+    EXPECT_EQ(can.owner_of(pts[static_cast<std::size_t>(m)]),
+              std::optional<MemberId>(m))
+        << "member " << m << " lost its join point";
+    EXPECT_EQ(can.point_of(m), std::optional<Point>(pts[static_cast<std::size_t>(m)]));
+  }
+}
+
+TEST(Can, QuincunxCellPattern) {
+  // The regression that motivated the invariant: the paper scenario's 4
+  // cells joining at their normalised centroids.
+  Can can;
+  ASSERT_TRUE(can.join(0, {0.500, 0.333}));
+  ASSERT_TRUE(can.join(1, {0.333, 0.500}));
+  ASSERT_TRUE(can.join(2, {0.667, 0.500}));
+  ASSERT_TRUE(can.join(3, {0.500, 0.667}));
+  EXPECT_EQ(can.owner_of({0.500, 0.333}), std::optional<MemberId>(0));
+  EXPECT_EQ(can.owner_of({0.333, 0.500}), std::optional<MemberId>(1));
+  EXPECT_EQ(can.owner_of({0.667, 0.500}), std::optional<MemberId>(2));
+  EXPECT_EQ(can.owner_of({0.500, 0.667}), std::optional<MemberId>(3));
+}
+
+TEST(Can, RejectsCoincidentJoinPoints) {
+  Can can;
+  ASSERT_TRUE(can.join(0, {0.5, 0.5}));
+  EXPECT_FALSE(can.join(1, {0.5, 0.5}));
+}
+
+class CanScale : public ::testing::TestWithParam<int> {};
+
+TEST_P(CanScale, InvariantsHoldAtEveryPopulation) {
+  const int n = GetParam();
+  Can can;
+  Rng rng(static_cast<std::uint64_t>(n) * 31 + 1);
+  for (MemberId m = 0; m < n; ++m) {
+    ASSERT_TRUE(can.join(m, {rng.uniform(), rng.uniform()}));
+  }
+  // Tessellation: areas sum to 1, every sampled point owned.
+  double total = 0;
+  for (MemberId m : can.members()) total += can.area_of(m);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(can.owner_of({rng.uniform(), rng.uniform()}).has_value());
+  }
+  // Neighbour symmetry + non-empty neighbour sets (n > 1).
+  for (MemberId m : can.members()) {
+    const auto neigh = can.neighbors(m);
+    if (n > 1) EXPECT_FALSE(neigh.empty()) << "member " << m;
+    for (MemberId o : neigh) {
+      const auto back = can.neighbors(o);
+      EXPECT_NE(std::find(back.begin(), back.end(), m), back.end());
+    }
+  }
+  // Greedy routing delivers from every member to random targets.
+  for (int i = 0; i < 50; ++i) {
+    const Point target{rng.uniform(), rng.uniform()};
+    const MemberId start = can.members()[rng.below(can.size())];
+    const auto path = can.route(start, target);
+    EXPECT_EQ(path.back(), *can.owner_of(target));
+    EXPECT_LE(path.size(), static_cast<std::size_t>(n));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Pop, CanScale,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 33, 64, 128));
+
+}  // namespace
+}  // namespace refer::dht

@@ -1,0 +1,112 @@
+// Cross-module integration tests: the full REFER stack under the paper's
+// evaluation conditions, and qualitative system ordering checks that
+// mirror the paper's headline claims on a reduced workload.
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+
+namespace refer::harness {
+namespace {
+
+Scenario base_scenario() {
+  Scenario sc;
+  sc.warmup_s = 10;
+  sc.measure_s = 60;
+  sc.packets_per_second = 5;
+  sc.seed = 21;
+  return sc;
+}
+
+TEST(Integration, ReferSurvivesMobilityAndFaultsTogether) {
+  Scenario sc = base_scenario();
+  sc.mobile = true;
+  sc.max_speed_mps = 3.0;
+  sc.faulty_nodes = 6;
+  const RunMetrics m = run_once(SystemKind::kRefer, sc);
+  ASSERT_TRUE(m.build_ok);
+  EXPECT_GT(m.delivery_ratio, 0.6);
+  EXPECT_GT(m.qos_delivered, 0u);
+}
+
+TEST(Integration, ReferBeatsKautzOverlayOnDelay) {
+  // Paper Figs. 6/8: topology consistency makes REFER's delay a fraction
+  // of the application-layer overlay's.
+  Scenario sc = base_scenario();
+  sc.mobile = false;
+  const RunMetrics refer = run_once(SystemKind::kRefer, sc);
+  const RunMetrics overlay = run_once(SystemKind::kKautzOverlay, sc);
+  ASSERT_TRUE(refer.build_ok);
+  ASSERT_TRUE(overlay.build_ok);
+  EXPECT_LT(refer.avg_delay_ms, overlay.avg_delay_ms);
+}
+
+TEST(Integration, ReferUsesLessCommEnergyThanBaselinesUnderMobility) {
+  // Paper Fig. 5 at moderate speed.
+  Scenario sc = base_scenario();
+  sc.mobile = true;
+  sc.max_speed_mps = 3.0;
+  const RunMetrics refer = run_once(SystemKind::kRefer, sc);
+  ASSERT_TRUE(refer.build_ok);
+  for (SystemKind kind :
+       {SystemKind::kDaTree, SystemKind::kKautzOverlay}) {
+    const RunMetrics other = run_once(kind, sc);
+    ASSERT_TRUE(other.build_ok) << to_string(kind);
+    EXPECT_LT(refer.comm_energy_j, other.comm_energy_j) << to_string(kind);
+  }
+}
+
+TEST(Integration, KautzOverlayPaysTheMostConstructionEnergy) {
+  // Paper Fig. 10 ordering: Kautz-overlay >> REFER > D-DEAR > DaTree is
+  // the paper's claim; we check the two robust endpoints (the middle pair
+  // depends on constants).
+  Scenario sc = base_scenario();
+  sc.mobile = false;
+  sc.measure_s = 10;
+  double cost[4];
+  int i = 0;
+  for (SystemKind kind : kAllSystems) {
+    const RunMetrics m = run_once(kind, sc);
+    ASSERT_TRUE(m.build_ok) << to_string(kind);
+    cost[i++] = m.construction_energy_j;
+  }
+  const double refer_j = cost[0], datree_j = cost[1], overlay_j = cost[3];
+  EXPECT_GT(overlay_j, refer_j);
+  EXPECT_GT(refer_j, datree_j);
+}
+
+TEST(Integration, ConstructionEnergyIsSmallVersusCommunication) {
+  // Paper Fig. 11: topology construction is a tiny fraction of the total
+  // (0.1% at the paper's 1 Mbps x 1000 s workload).  Our default workload
+  // is scaled down ~100x for wall-clock speed, so the check is that
+  // construction stays below communication and that the ratio shrinks as
+  // traffic grows (it amortises).
+  Scenario sc = base_scenario();
+  sc.measure_s = 60;
+  sc.packets_per_second = 8;
+  const RunMetrics light = run_once(SystemKind::kRefer, sc);
+  ASSERT_TRUE(light.build_ok);
+  sc.packets_per_second = 24;
+  const RunMetrics heavy = run_once(SystemKind::kRefer, sc);
+  ASSERT_TRUE(heavy.build_ok);
+  EXPECT_LT(heavy.construction_energy_j, heavy.comm_energy_j);
+  EXPECT_LT(heavy.construction_energy_j / heavy.comm_energy_j,
+            light.construction_energy_j / light.comm_energy_j)
+      << "construction must amortise with traffic volume";
+}
+
+TEST(Integration, HigherMobilityCostsReferLittleThroughput) {
+  // Paper Fig. 4's REFER curve is nearly flat.
+  Scenario still = base_scenario();
+  still.mobile = false;
+  Scenario fast = base_scenario();
+  fast.mobile = true;
+  fast.max_speed_mps = 5.0;
+  const RunMetrics a = run_once(SystemKind::kRefer, still);
+  const RunMetrics b = run_once(SystemKind::kRefer, fast);
+  ASSERT_TRUE(a.build_ok);
+  ASSERT_TRUE(b.build_ok);
+  EXPECT_GT(b.qos_throughput_kbps, 0.6 * a.qos_throughput_kbps);
+}
+
+}  // namespace
+}  // namespace refer::harness

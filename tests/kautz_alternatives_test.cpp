@@ -1,0 +1,138 @@
+// Tests for the SIII-A comparison topologies (de Bruijn, hypercube) and
+// the degree/diameter trade-off claims behind Proposition 3.1.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <set>
+#include <unordered_map>
+
+#include "kautz/alternatives.hpp"
+#include "kautz/graph.hpp"
+
+namespace refer::kautz {
+namespace {
+
+TEST(DeBruijn, CountsAndValidity) {
+  const DeBruijnGraph g(2, 3);
+  EXPECT_EQ(g.node_count(), 8u);
+  EXPECT_TRUE(g.contains(Label{0, 0, 0}));  // repeats allowed
+  EXPECT_TRUE(g.contains(Label{1, 1, 1}));
+  EXPECT_FALSE(g.contains(Label{0, 2, 0}));  // letter out of range
+  EXPECT_FALSE(g.contains(Label{0, 1}));
+  const auto nodes = g.nodes();
+  EXPECT_EQ(nodes.size(), 8u);
+  EXPECT_EQ(std::set<Label>(nodes.begin(), nodes.end()).size(), 8u);
+}
+
+TEST(DeBruijn, NeighborsAreShifts) {
+  const DeBruijnGraph g(2, 3);
+  const auto out = g.out_neighbors(Label{0, 1, 1});
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], (Label{1, 1, 0}));
+  EXPECT_EQ(out[1], (Label{1, 1, 1}));
+}
+
+TEST(DeBruijn, DistanceMatchesBfs) {
+  const DeBruijnGraph g(2, 4);
+  const auto nodes = g.nodes();
+  for (const auto& u : nodes) {
+    // BFS ground truth.
+    std::unordered_map<Label, int, LabelHash> dist{{u, 0}};
+    std::deque<Label> frontier{u};
+    while (!frontier.empty()) {
+      const Label x = frontier.front();
+      frontier.pop_front();
+      for (const Label& w : g.out_neighbors(x)) {
+        if (dist.emplace(w, dist[x] + 1).second) frontier.push_back(w);
+      }
+    }
+    for (const auto& v : nodes) {
+      EXPECT_EQ(DeBruijnGraph::distance(u, v), dist.at(v))
+          << u.to_string() << " -> " << v.to_string();
+    }
+  }
+}
+
+TEST(DeBruijn, KautzHasMoreNodesAtSameDegreeDiameter) {
+  // (d+1) d^{k-1} > d^k, the first leg of Proposition 3.1.
+  for (int d = 2; d <= 5; ++d) {
+    for (int k = 2; k <= 6; ++k) {
+      EXPECT_GT(Graph(d, k).node_count(), DeBruijnGraph(d, k).node_count())
+          << "d=" << d << " k=" << k;
+    }
+  }
+}
+
+TEST(Hypercube, BasicStructure) {
+  const HypercubeGraph h(4);
+  EXPECT_EQ(h.node_count(), 16u);
+  EXPECT_EQ(h.degree(), 4);
+  EXPECT_EQ(h.diameter(), 4);
+  const auto n = h.neighbors(0b0101);
+  EXPECT_EQ(n.size(), 4u);
+  for (std::uint64_t x : n) {
+    EXPECT_EQ(HypercubeGraph::distance(0b0101, x), 1);
+  }
+}
+
+TEST(Hypercube, DistanceIsHamming) {
+  EXPECT_EQ(HypercubeGraph::distance(0b0000, 0b1111), 4);
+  EXPECT_EQ(HypercubeGraph::distance(0b1010, 0b1010), 0);
+  EXPECT_EQ(HypercubeGraph::distance(0b1010, 0b1000), 1);
+}
+
+TEST(Hypercube, DiameterRealizedByComplement) {
+  const HypercubeGraph h(6);
+  EXPECT_EQ(HypercubeGraph::distance(0, (1ULL << 6) - 1), 6);
+}
+
+TEST(Tradeoff, KautzWinsAtEveryScale) {
+  // Proposition 3.1 numerically: for the same degree budget, Kautz
+  // reaches the target size with diameter <= de Bruijn's, and with far
+  // smaller degree+diameter than the hypercube.
+  for (std::uint64_t target : {50ull, 200ull, 1000ull, 10000ull}) {
+    const auto rows = compare_topologies(target, /*degree=*/3);
+    ASSERT_EQ(rows.size(), 3u);
+    const auto& kautz = rows[0];
+    const auto& debruijn = rows[1];
+    const auto& hypercube = rows[2];
+    EXPECT_GE(kautz.nodes, target);
+    EXPECT_LE(kautz.diameter, debruijn.diameter) << "target " << target;
+    EXPECT_LT(kautz.diameter, hypercube.diameter) << "target " << target;
+    EXPECT_LT(kautz.degree, hypercube.degree) << "target " << target;
+  }
+}
+
+TEST(Tradeoff, EulerEqualityOnlyForKautz) {
+  // Lemma 3.1's optimality: |E| = N * d for Kautz; the hypercube has the
+  // same equality but with degree growing as log N, which is the point of
+  // the comparison.
+  const Graph g(3, 3);
+  EXPECT_EQ(g.edge_count(), g.node_count() * 3);
+  const HypercubeGraph h(6);  // 64 nodes needs degree 6
+  EXPECT_GT(h.degree(), g.degree());
+  EXPECT_LT(g.node_count(), h.node_count());
+}
+
+TEST(Tradeoff, RowsReachTheTarget) {
+  for (int degree : {2, 3, 4}) {
+    for (std::uint64_t target : {10ull, 500ull, 5000ull}) {
+      for (const auto& row : compare_topologies(target, degree)) {
+        EXPECT_GE(row.nodes, target)
+            << row.family << " d=" << degree << " target=" << target;
+        EXPECT_GE(row.degree, 1);
+        EXPECT_GE(row.diameter, 1);
+      }
+    }
+  }
+}
+
+TEST(DeBruijn, RejectsInvalidParameters) {
+  EXPECT_THROW(DeBruijnGraph(0, 3), std::invalid_argument);
+  EXPECT_THROW(DeBruijnGraph(2, 0), std::invalid_argument);
+  EXPECT_THROW(HypercubeGraph(0), std::invalid_argument);
+  EXPECT_THROW(HypercubeGraph(63), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace refer::kautz

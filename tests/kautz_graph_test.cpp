@@ -1,0 +1,136 @@
+// Unit tests for kautz::Graph: counts (Lemma 3.1), neighbourhoods,
+// Hamiltonian cycle (precondition of the embedding, paper SIII-A).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include "kautz/graph.hpp"
+#include "kautz/verifier.hpp"
+
+namespace refer::kautz {
+namespace {
+
+TEST(Graph, RejectsInvalidParameters) {
+  EXPECT_THROW(Graph(0, 3), std::invalid_argument);
+  EXPECT_THROW(Graph(2, 0), std::invalid_argument);
+  EXPECT_THROW(Graph(2, 17), std::invalid_argument);
+}
+
+TEST(Graph, NodeAndEdgeCounts) {
+  // Lemma 3.1: N = (d+1) d^{k-1}, E = (d+1) d^k = N * d.
+  EXPECT_EQ(Graph(2, 3).node_count(), 12u);
+  EXPECT_EQ(Graph(2, 3).edge_count(), 24u);
+  EXPECT_EQ(Graph(4, 4).node_count(), 320u);
+  EXPECT_EQ(Graph(4, 4).edge_count(), 1280u);
+  EXPECT_EQ(Graph(1, 5).node_count(), 2u);
+  EXPECT_EQ(Graph(3, 2).node_count(), 12u);
+}
+
+TEST(Graph, EulerDegreeSumOptimality) {
+  // |E| == N * delta_min, the equality of Lemma 3.1 proving minimum
+  // connectivity.
+  for (int d = 1; d <= 4; ++d) {
+    for (int k = 2; k <= 4; ++k) {
+      const Graph g(d, k);
+      EXPECT_EQ(g.edge_count(), g.node_count() * static_cast<unsigned>(d));
+    }
+  }
+}
+
+TEST(Graph, NodesEnumerationMatchesCountAndValidity) {
+  const Graph g(3, 3);
+  const auto nodes = g.nodes();
+  EXPECT_EQ(nodes.size(), g.node_count());
+  std::set<Label> unique(nodes.begin(), nodes.end());
+  EXPECT_EQ(unique.size(), nodes.size());
+  for (const auto& n : nodes) EXPECT_TRUE(g.contains(n));
+}
+
+TEST(Graph, ContainsChecksLengthAlphabetAndRepeats) {
+  const Graph g(2, 3);
+  EXPECT_TRUE(g.contains(Label{0, 1, 2}));
+  EXPECT_FALSE(g.contains(Label{0, 1}));        // wrong length
+  EXPECT_FALSE(g.contains(Label{0, 1, 3}));     // digit 3 not in {0,1,2}
+  EXPECT_FALSE(g.contains(Label{0, 1, 1}));     // repeat
+}
+
+TEST(Graph, OutNeighborsAreTheDLegalShifts) {
+  const Graph g(2, 3);
+  const auto out = g.out_neighbors(Label{0, 1, 2});
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], (Label{1, 2, 0}));
+  EXPECT_EQ(out[1], (Label{1, 2, 1}));
+  for (const auto& n : out) EXPECT_TRUE(g.contains(n));
+}
+
+TEST(Graph, InNeighborsAreTheDLegalPrepends) {
+  const Graph g(2, 3);
+  const auto in = g.in_neighbors(Label{0, 1, 2});
+  ASSERT_EQ(in.size(), 2u);
+  EXPECT_EQ(in[0], (Label{1, 0, 1}));
+  EXPECT_EQ(in[1], (Label{2, 0, 1}));
+}
+
+TEST(Graph, InOutNeighborsAreConsistent) {
+  const Graph g(3, 3);
+  for (const auto& u : g.nodes()) {
+    for (const auto& v : g.out_neighbors(u)) {
+      EXPECT_TRUE(g.has_arc(u, v));
+      const auto in = g.in_neighbors(v);
+      EXPECT_NE(std::find(in.begin(), in.end(), u), in.end());
+    }
+  }
+}
+
+TEST(Graph, HasArcRejectsNonArcs) {
+  const Graph g(2, 3);
+  EXPECT_TRUE(g.has_arc(Label{0, 1, 2}, Label{1, 2, 0}));
+  EXPECT_FALSE(g.has_arc(Label{0, 1, 2}, Label{2, 0, 1}));
+  EXPECT_FALSE(g.has_arc(Label{0, 1, 2}, Label{0, 1, 2}));
+}
+
+TEST(Graph, DiameterMatchesK) {
+  // max over all pairs of BFS distance == k.
+  for (int d = 2; d <= 3; ++d) {
+    for (int k = 2; k <= 3; ++k) {
+      const Graph g(d, k);
+      int max_dist = 0;
+      for (const auto& u : g.nodes()) {
+        const auto dist = bfs_distances(g, u);
+        EXPECT_EQ(dist.size(), g.node_count()) << "strongly connected";
+        for (const auto& [v, dv] : dist) max_dist = std::max(max_dist, dv);
+      }
+      EXPECT_EQ(max_dist, k);
+    }
+  }
+}
+
+class HamiltonianCycleTest : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(HamiltonianCycleTest, VisitsEveryNodeExactlyOnce) {
+  const auto [d, k] = GetParam();
+  const Graph g(d, k);
+  const auto cycle = g.hamiltonian_cycle();
+  ASSERT_EQ(cycle.size(), g.node_count() + 1);
+  EXPECT_EQ(cycle.front(), cycle.back());
+  std::unordered_set<Label, LabelHash> seen;
+  for (std::size_t i = 0; i + 1 < cycle.size(); ++i) {
+    EXPECT_TRUE(g.contains(cycle[i])) << cycle[i].to_string();
+    EXPECT_TRUE(seen.insert(cycle[i]).second) << "revisited " << cycle[i].to_string();
+    EXPECT_TRUE(g.has_arc(cycle[i], cycle[i + 1]))
+        << cycle[i].to_string() << " -> " << cycle[i + 1].to_string();
+  }
+  EXPECT_EQ(seen.size(), g.node_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HamiltonianCycleTest,
+    ::testing::Values(std::pair{1, 2}, std::pair{2, 1}, std::pair{2, 2},
+                      std::pair{2, 3}, std::pair{2, 4}, std::pair{3, 2},
+                      std::pair{3, 3}, std::pair{4, 3}, std::pair{4, 4},
+                      std::pair{2, 8}));
+
+}  // namespace
+}  // namespace refer::kautz

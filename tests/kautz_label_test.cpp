@@ -1,0 +1,148 @@
+// Unit tests for kautz::Label (paper Definition 1 string mechanics).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "kautz/label.hpp"
+
+namespace refer::kautz {
+namespace {
+
+TEST(Label, DefaultIsEmpty) {
+  Label l;
+  EXPECT_TRUE(l.empty());
+  EXPECT_EQ(l.length(), 0);
+}
+
+TEST(Label, InitializerListAndAccess) {
+  const Label l{1, 2, 0};
+  EXPECT_EQ(l.length(), 3);
+  EXPECT_EQ(l[0], 1);
+  EXPECT_EQ(l[1], 2);
+  EXPECT_EQ(l[2], 0);
+  EXPECT_EQ(l.first(), 1);
+  EXPECT_EQ(l.last(), 0);
+}
+
+TEST(Label, ParseRoundTrip) {
+  const auto l = Label::parse("0123");
+  ASSERT_TRUE(l.has_value());
+  EXPECT_EQ(l->to_string(), "0123");
+  EXPECT_EQ(*l, (Label{0, 1, 2, 3}));
+}
+
+TEST(Label, ParseRejectsNonDigits) {
+  EXPECT_FALSE(Label::parse("01a3").has_value());
+  EXPECT_FALSE(Label::parse("0123456789012345678").has_value());
+}
+
+TEST(Label, ValidityRejectsAdjacentRepeats) {
+  EXPECT_TRUE((Label{0, 1, 0}).valid());
+  EXPECT_FALSE((Label{0, 0, 1}).valid());
+  EXPECT_FALSE((Label{0, 1, 1}).valid());
+  EXPECT_TRUE(Label{}.valid());
+}
+
+TEST(Label, ValidForAlphabet) {
+  EXPECT_TRUE((Label{0, 1, 2}).valid_for_alphabet(3));
+  EXPECT_FALSE((Label{0, 1, 3}).valid_for_alphabet(3));  // digit out of range
+  EXPECT_FALSE((Label{0, 0, 1}).valid_for_alphabet(3));  // repeat
+}
+
+TEST(Label, ShiftAppendIsKautzArc) {
+  const Label u{0, 1, 2, 3};
+  EXPECT_EQ(u.shift_append(0), (Label{1, 2, 3, 0}));
+  EXPECT_EQ(u.shift_append(4), (Label{1, 2, 3, 4}));
+}
+
+TEST(Label, ShiftPrependIsReverseArc) {
+  const Label u{0, 1, 2, 3};
+  EXPECT_EQ(u.shift_prepend(2), (Label{2, 0, 1, 2}));
+}
+
+TEST(Label, RotateLeft) {
+  EXPECT_EQ((Label{0, 1, 2}).rotate_left(), (Label{1, 2, 0}));
+  EXPECT_EQ((Label{2, 0, 1}).rotate_left(), (Label{0, 1, 2}));
+}
+
+TEST(Label, WithDigit) {
+  EXPECT_EQ((Label{0, 1, 2}).with_digit(1, 3), (Label{0, 3, 2}));
+}
+
+TEST(Label, PrefixSuffix) {
+  const Label l{0, 1, 2, 3};
+  EXPECT_EQ(l.prefix(2), (Label{0, 1}));
+  EXPECT_EQ(l.suffix(2), (Label{2, 3}));
+  EXPECT_EQ(l.prefix(0), Label{});
+  EXPECT_EQ(l.suffix(4), l);
+}
+
+TEST(Label, AppendGrows) {
+  EXPECT_EQ(Label{}.append(2).append(0), (Label{2, 0}));
+}
+
+TEST(Label, ComparisonIsLexicographic) {
+  EXPECT_LT((Label{0, 1, 2}), (Label{0, 2, 1}));
+  EXPECT_LT((Label{0, 1}), (Label{0, 1, 0}));  // shorter prefix first
+  EXPECT_EQ((Label{1, 2}), (Label{1, 2}));
+}
+
+TEST(Label, HashDistinguishesLengthAndContent) {
+  EXPECT_NE((Label{0, 1}).hash(), (Label{0, 1, 0}).hash());
+  EXPECT_NE((Label{0, 1}).hash(), (Label{1, 0}).hash());
+  EXPECT_EQ((Label{0, 1}).hash(), (Label{0, 1}).hash());
+}
+
+TEST(Label, IndexRoundTripK23) {
+  // K(2,3): 12 nodes.
+  std::set<std::uint64_t> indices;
+  const int d = 2, k = 3;
+  for (std::uint64_t i = 0; i < 12; ++i) {
+    const Label l = Label::from_index(i, d, k);
+    EXPECT_TRUE(l.valid_for_alphabet(d + 1)) << l.to_string();
+    EXPECT_EQ(l.to_index(d), i);
+    indices.insert(l.to_index(d));
+  }
+  EXPECT_EQ(indices.size(), 12u);
+}
+
+TEST(Label, IndexRoundTripK44) {
+  const int d = 4, k = 4;
+  const std::uint64_t n = 5 * 4 * 4 * 4;  // (d+1) d^{k-1} = 320
+  std::set<Label> labels;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const Label l = Label::from_index(i, d, k);
+    EXPECT_TRUE(l.valid_for_alphabet(d + 1));
+    EXPECT_EQ(l.to_index(d), i);
+    labels.insert(l);
+  }
+  EXPECT_EQ(labels.size(), n);
+}
+
+TEST(Overlap, PaperExamples) {
+  // SIII-B: distance(120, 201) = 3 - L = 1, so L(120, 201) = 2.
+  EXPECT_EQ(overlap(Label{1, 2, 0}, Label{2, 0, 1}), 2);
+  EXPECT_EQ(kautz_distance(Label{1, 2, 0}, Label{2, 0, 1}), 1);
+  // Fig 2(a): U = 0123, V = 2301 share "23": l = 2.
+  EXPECT_EQ(overlap(Label{0, 1, 2, 3}, Label{2, 3, 0, 1}), 2);
+  EXPECT_EQ(kautz_distance(Label{0, 1, 2, 3}, Label{2, 3, 0, 1}), 2);
+}
+
+TEST(Overlap, IdenticalLabels) {
+  const Label l{0, 1, 2};
+  EXPECT_EQ(overlap(l, l), 3);
+  EXPECT_EQ(kautz_distance(l, l), 0);
+}
+
+TEST(Overlap, NoSharedAffix) {
+  EXPECT_EQ(overlap(Label{0, 1, 0}, Label{1, 2, 1}), 0);  // u_k=0 != v_1=1
+  EXPECT_EQ(overlap(Label{0, 1, 2}, Label{0, 1, 2}), 3);
+  EXPECT_EQ(overlap(Label{0, 1, 2}, Label{1, 0, 1}), 0);
+}
+
+TEST(Overlap, SingleDigitMatch) {
+  EXPECT_EQ(overlap(Label{0, 1, 2}, Label{2, 0, 2}), 1);
+}
+
+}  // namespace
+}  // namespace refer::kautz

@@ -1,0 +1,255 @@
+// Property-based sweeps over Kautz graphs: invariants of labels, graphs
+// and Theorem 3.8 routing that must hold for every (d, k) in the sweep and
+// every node pair (exhaustive for small graphs, sampled for larger ones).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/rng.hpp"
+#include "kautz/graph.hpp"
+#include "kautz/routing.hpp"
+#include "kautz/verifier.hpp"
+
+namespace refer::kautz {
+namespace {
+
+struct DK {
+  int d;
+  int k;
+};
+
+class KautzProperty : public ::testing::TestWithParam<DK> {
+ protected:
+  /// Up to `limit` ordered pairs (u, v), exhaustive when the graph is small
+  /// enough, uniformly sampled otherwise.
+  static std::vector<std::pair<Label, Label>> pairs(const Graph& g,
+                                                    std::size_t limit) {
+    const auto nodes = g.nodes();
+    std::vector<std::pair<Label, Label>> out;
+    if (nodes.size() * nodes.size() <= limit) {
+      for (const auto& u : nodes) {
+        for (const auto& v : nodes) {
+          if (u != v) out.emplace_back(u, v);
+        }
+      }
+      return out;
+    }
+    Rng rng(0xC0FFEE ^ (static_cast<std::uint64_t>(g.degree()) << 8 |
+                        static_cast<std::uint64_t>(g.diameter())));
+    while (out.size() < limit) {
+      const auto& u = nodes[rng.below(nodes.size())];
+      const auto& v = nodes[rng.below(nodes.size())];
+      if (u != v) out.emplace_back(u, v);
+    }
+    return out;
+  }
+};
+
+TEST_P(KautzProperty, IndexBijection) {
+  const auto [d, k] = GetParam();
+  const Graph g(d, k);
+  std::unordered_set<Label, LabelHash> seen;
+  for (std::uint64_t i = 0; i < g.node_count(); ++i) {
+    const Label l = Label::from_index(i, d, k);
+    EXPECT_TRUE(g.contains(l));
+    EXPECT_EQ(l.to_index(d), i);
+    EXPECT_TRUE(seen.insert(l).second);
+  }
+}
+
+TEST_P(KautzProperty, ArcShiftRelation) {
+  const auto [d, k] = GetParam();
+  const Graph g(d, k);
+  for (const auto& [u, v] : pairs(g, 4000)) {
+    EXPECT_EQ(g.has_arc(u, v), kautz_distance(u, v) == 1)
+        << u.to_string() << " -> " << v.to_string();
+  }
+}
+
+TEST_P(KautzProperty, GreedyPathLengthEqualsKautzDistance) {
+  const auto [d, k] = GetParam();
+  const Graph g(d, k);
+  for (const auto& [u, v] : pairs(g, 3000)) {
+    const auto path = shortest_path(u, v);
+    EXPECT_EQ(static_cast<int>(path.size()) - 1, kautz_distance(u, v));
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      EXPECT_TRUE(g.has_arc(path[i], path[i + 1]));
+    }
+  }
+}
+
+TEST_P(KautzProperty, NominalLengthsMatchTheoremRows) {
+  const auto [d, k] = GetParam();
+  const Graph g(d, k);
+  for (const auto& [u, v] : pairs(g, 3000)) {
+    const int l = overlap(u, v);
+    int shortest = 0, v1 = 0, conflict = 0, other = 0;
+    for (const auto& r : disjoint_routes(d, u, v)) {
+      switch (r.path_class) {
+        case PathClass::kShortest:
+          ++shortest;
+          EXPECT_EQ(r.nominal_length, k - l);
+          break;
+        case PathClass::kV1:
+          ++v1;
+          EXPECT_EQ(r.nominal_length, k);
+          break;
+        case PathClass::kConflict:
+          ++conflict;
+          EXPECT_EQ(r.nominal_length, k + 2);
+          EXPECT_TRUE(r.forced_second_hop.has_value());
+          break;
+        case PathClass::kOther:
+          ++other;
+          EXPECT_EQ(r.nominal_length, k + 1);
+          EXPECT_FALSE(r.forced_second_hop.has_value());
+          break;
+      }
+    }
+    EXPECT_EQ(shortest, 1);
+    EXPECT_LE(v1, 1);
+    EXPECT_LE(conflict, 1);
+    EXPECT_EQ(shortest + v1 + conflict + other, d);
+    // v1 class exists iff v_1 is a legal out-digit (!= u_k) not already
+    // claimed by the shortest class (v_1 != v_{l+1}) and not degraded to a
+    // redirected conflict route (u_{k-l} == u_k collision, case (b) in
+    // routing.cpp).
+    const bool v1_exists = u.last() != v.first() && v.first() != v[l] &&
+                           u[k - l - 1] != u.last();
+    EXPECT_EQ(v1, v1_exists ? 1 : 0)
+        << u.to_string() << " -> " << v.to_string();
+  }
+}
+
+TEST_P(KautzProperty, CanonicalPathsArePairwiseDisjoint) {
+  // Theorem 3.8's guarantee, verified in its sharpest universally-true
+  // form: the d canonical paths realise their nominal lengths exactly, are
+  // valid walks, and are pairwise cross-disjoint (no node shared between
+  // two different paths).  Full per-path simplicity additionally holds for
+  // k == 3 (REFER's deployment configuration) and can only fail on
+  // degenerate periodic destination labels for larger k; the failure rate
+  // is bounded below 2% of pairs.
+  const auto [d, k] = GetParam();
+  const Graph g(d, k);
+  std::size_t non_simple = 0, total = 0;
+  for (const auto& [u, v] : pairs(g, 2000)) {
+    const auto routes = disjoint_routes(d, u, v);
+    std::vector<std::vector<Label>> paths;
+    for (const auto& r : routes) {
+      paths.push_back(canonical_path(u, v, r));
+      EXPECT_EQ(static_cast<int>(paths.back().size()) - 1, r.nominal_length)
+          << u.to_string() << " -> " << v.to_string() << " via "
+          << r.successor.to_string();
+    }
+    EXPECT_TRUE(all_paths_valid(g, u, v, paths))
+        << u.to_string() << " -> " << v.to_string();
+    EXPECT_TRUE(cross_disjoint(paths))
+        << u.to_string() << " -> " << v.to_string();
+    ++total;
+    if (!all_simple(paths)) {
+      ++non_simple;
+      EXPECT_NE(k, 3) << "self-repeat must not happen for k == 3: "
+                      << u.to_string() << " -> " << v.to_string();
+    }
+  }
+  EXPECT_LE(non_simple * 50, total)  // < 2%
+      << non_simple << " of " << total;
+}
+
+TEST_P(KautzProperty, ProtocolPathsStayWithinNominalLength) {
+  // The protocol (greedy with one forced redirect hop) can shortcut below
+  // the canonical length but never exceeds it, and always arrives.
+  const auto [d, k] = GetParam();
+  const Graph g(d, k);
+  for (const auto& [u, v] : pairs(g, 2000)) {
+    for (const auto& r : disjoint_routes(d, u, v)) {
+      const auto path = materialize_path(u, v, r, 4 * k + 8);
+      EXPECT_EQ(path.back(), v);
+      EXPECT_LE(static_cast<int>(path.size()) - 1, r.nominal_length);
+    }
+  }
+}
+
+TEST_P(KautzProperty, TheoremMatchesRouteGenerationCount) {
+  // The expensive route-generation algorithm finds d disjoint paths; the
+  // ID-only table must offer the same number of successors.
+  const auto [d, k] = GetParam();
+  const Graph g(d, k);
+  for (const auto& [u, v] : pairs(g, 64)) {
+    const auto generated = route_generation_disjoint_paths(g, u, v);
+    EXPECT_EQ(generated.size(), static_cast<std::size_t>(d));
+    EXPECT_EQ(disjoint_routes(d, u, v).size(), static_cast<std::size_t>(d));
+  }
+}
+
+TEST_P(KautzProperty, ImaseWorstCaseBoundHolds) {
+  // Imase et al. [27]: between any two nodes of a Kautz graph there are d
+  // disjoint paths of length at most k + 2.  Theorem 3.8's nominal
+  // lengths respect the bound everywhere.
+  const auto [d, k] = GetParam();
+  const Graph g(d, k);
+  for (const auto& [u, v] : pairs(g, 3000)) {
+    for (const auto& r : disjoint_routes(d, u, v)) {
+      EXPECT_LE(r.nominal_length, k + 2);
+      EXPECT_GE(r.nominal_length, 1);
+    }
+  }
+}
+
+TEST_P(KautzProperty, ArcReversalDuality) {
+  // v is an out-neighbour of u iff u is an in-neighbour of v.
+  const auto [d, k] = GetParam();
+  const Graph g(d, k);
+  for (const auto& [u, v] : pairs(g, 1500)) {
+    const auto out = g.out_neighbors(u);
+    const bool u_to_v =
+        std::find(out.begin(), out.end(), v) != out.end();
+    const auto in = g.in_neighbors(v);
+    const bool v_from_u =
+        std::find(in.begin(), in.end(), u) != in.end();
+    EXPECT_EQ(u_to_v, v_from_u)
+        << u.to_string() << " -> " << v.to_string();
+  }
+}
+
+TEST_P(KautzProperty, TheoremPathsMatchRouteGenerationLengthBound) {
+  // The ID-only construction is never asymptotically worse than the
+  // explicit route-generation algorithm: its longest path is at most two
+  // hops longer than the baseline's longest (both respect k + 2).
+  const auto [d, k] = GetParam();
+  const Graph g(d, k);
+  for (const auto& [u, v] : pairs(g, 48)) {
+    const auto generated = route_generation_disjoint_paths(g, u, v);
+    int gen_longest = 0;
+    for (const auto& p : generated) {
+      gen_longest = std::max(gen_longest, static_cast<int>(p.size()) - 1);
+    }
+    int ours_longest = 0;
+    for (const auto& r : disjoint_routes(d, u, v)) {
+      ours_longest = std::max(ours_longest, r.nominal_length);
+    }
+    EXPECT_LE(ours_longest, k + 2);
+    EXPECT_LE(gen_longest, k + 2);
+  }
+}
+
+TEST_P(KautzProperty, HamiltonianCycleExists) {
+  const auto [d, k] = GetParam();
+  const Graph g(d, k);
+  const auto cycle = g.hamiltonian_cycle();
+  EXPECT_EQ(cycle.size(), g.node_count() + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KautzProperty,
+    ::testing::Values(DK{2, 2}, DK{2, 3}, DK{2, 4}, DK{2, 5}, DK{3, 2},
+                      DK{3, 3}, DK{3, 4}, DK{4, 2}, DK{4, 3}, DK{4, 4},
+                      DK{5, 3}),
+    [](const auto& info) {
+      return "d" + std::to_string(info.param.d) + "k" +
+             std::to_string(info.param.k);
+    });
+
+}  // namespace
+}  // namespace refer::kautz

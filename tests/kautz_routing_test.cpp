@@ -1,0 +1,188 @@
+// Unit tests for the greedy shortest protocol, in/out-digit analysis
+// (Propositions 3.3-3.7) and disjoint_routes (Theorem 3.8) on the paper's
+// own worked examples.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "kautz/routing.hpp"
+
+namespace refer::kautz {
+namespace {
+
+Label L(const char* s) { return *Label::parse(s); }
+
+const Route& route_via(const std::vector<Route>& routes, const Label& succ) {
+  for (const auto& r : routes) {
+    if (r.successor == succ) return r;
+  }
+  ADD_FAILURE() << "no route via " << succ.to_string();
+  static Route dummy;
+  return dummy;
+}
+
+TEST(GreedyProtocol, PaperShortestPathExample) {
+  // SIII-C1: 12345 -> 23450 -> 34501.
+  EXPECT_EQ(greedy_successor(L("12345"), L("34501")), L("23450"));
+  EXPECT_EQ(greedy_successor(L("23450"), L("34501")), L("34501"));
+  const auto path = shortest_path(L("12345"), L("34501"));
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(path[1], L("23450"));
+}
+
+TEST(GreedyProtocol, ShortestLengthIsKMinusL) {
+  const Label u = L("0123"), v = L("2301");
+  EXPECT_EQ(shortest_path(u, v).size(), 3u);  // k - l = 4 - 2 = 2 hops
+}
+
+TEST(InDigit, Proposition33Example) {
+  // Fig 2(a): U = 0123, V = 2301, l = 2.
+  const Label u = L("0123"), v = L("2301");
+  // Shortest path via 1230 (alpha = v_{l+1} = 0): in-digit u_{k-l} = u_2 = 1.
+  EXPECT_EQ(in_digit(u, v, 0), 1);
+  // alpha = v_1 = 2 (node 1232): in-digit u_k = 3.
+  EXPECT_EQ(in_digit(u, v, 2), 3);
+  // alpha = 1 (node 1231): in-digit alpha = 1.
+  EXPECT_EQ(in_digit(u, v, 1), 1);
+  // alpha = 4 (node 1234): in-digit alpha = 4.
+  EXPECT_EQ(in_digit(u, v, 4), 4);
+}
+
+TEST(ConflictDigit, ExistsExactlyWhenPaperConditionHolds) {
+  // Fig 2(a): u_{k-l} = 1 != v_{l+1} = 0 -> conflict digit 1.
+  EXPECT_EQ(conflict_digit(L("0123"), L("2301")), std::optional<Digit>(1));
+  // Fig 2(b): U = 0123, V1 = 2311... the paper uses a pair with
+  // u_{k-l} == v_{l+1}; construct one: V = 2310 has l = 2? suffix "23" ==
+  // prefix "23", v_{l+1} = v_3 = 1 == u_{k-l} = u_2 = 1 -> no conflict node.
+  EXPECT_EQ(conflict_digit(L("0123"), L("2310")), std::nullopt);
+}
+
+TEST(ConflictDigit, AbsentWhenEqualToUk) {
+  // l = 0 cases: u_{k-l} = u_k is not a legal out-digit.
+  const Label u = L("012"), v = L("101");
+  ASSERT_EQ(overlap(u, v), 0);
+  EXPECT_EQ(conflict_digit(u, v), std::nullopt);
+}
+
+TEST(DisjointRoutes, PaperTheorem38ExampleK44) {
+  // SIII-C2 worked example: U = 0123 sends to V = 2301 in K(4,4).
+  // Successors and lengths: (1230, shortest, k-l=2), (1232, k=4),
+  // (1234, k+1=5), (1231, conflict, k+2=6).
+  const auto routes = disjoint_routes(4, L("0123"), L("2301"));
+  ASSERT_EQ(routes.size(), 4u);
+
+  const Route& shortest = route_via(routes, L("1230"));
+  EXPECT_EQ(shortest.path_class, PathClass::kShortest);
+  EXPECT_EQ(shortest.nominal_length, 2);
+
+  const Route& second = route_via(routes, L("1232"));
+  EXPECT_EQ(second.path_class, PathClass::kV1);
+  EXPECT_EQ(second.nominal_length, 4);
+
+  const Route& third = route_via(routes, L("1234"));
+  EXPECT_EQ(third.path_class, PathClass::kOther);
+  EXPECT_EQ(third.nominal_length, 5);
+
+  const Route& conflict = route_via(routes, L("1231"));
+  EXPECT_EQ(conflict.path_class, PathClass::kConflict);
+  EXPECT_EQ(conflict.nominal_length, 6);
+  // Proposition 3.7 example: node 1231 must forward to 2310.
+  ASSERT_TRUE(conflict.forced_second_hop.has_value());
+  EXPECT_EQ(*conflict.forced_second_hop, L("2310"));
+}
+
+TEST(DisjointRoutes, SortedByNominalLength) {
+  const auto routes = disjoint_routes(4, L("0123"), L("2301"));
+  ASSERT_EQ(routes.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(routes.begin(), routes.end(),
+                             [](const Route& a, const Route& b) {
+                               return a.nominal_length < b.nominal_length;
+                             }));
+  EXPECT_EQ(routes.front().path_class, PathClass::kShortest);
+}
+
+TEST(DisjointRoutes, IntraCellExampleFromFigure1) {
+  // SIII-C: in K(2,3), node 102 re-routes to 201 around failed node 020
+  // with 021 as the next hop.
+  const auto routes = disjoint_routes(2, L("102"), L("201"));
+  ASSERT_EQ(routes.size(), 2u);
+  EXPECT_EQ(routes[0].successor, L("020"));  // shortest: l=1, length 2
+  EXPECT_EQ(routes[0].nominal_length, 2);
+  EXPECT_EQ(routes[1].successor, L("021"));  // alternative
+}
+
+TEST(DisjointRoutes, WhenLIsZeroShortestAbsorbsV1Class) {
+  // l = 0: v_{l+1} == v_1, so exactly one shortest route of length k and
+  // d-1 "other" routes of length k+1; no v1 or conflict class.
+  const Label u = L("010"), v = L("121");
+  ASSERT_EQ(overlap(u, v), 0);
+  const auto routes = disjoint_routes(2, u, v);
+  ASSERT_EQ(routes.size(), 2u);
+  EXPECT_EQ(routes[0].path_class, PathClass::kShortest);
+  EXPECT_EQ(routes[0].nominal_length, 3);
+  EXPECT_EQ(routes[1].path_class, PathClass::kOther);
+  EXPECT_EQ(routes[1].nominal_length, 4);
+}
+
+TEST(DisjointRoutes, SuccessorsAreExactlyTheDOutNeighbors) {
+  const Label u = L("0123"), v = L("2301");
+  const auto routes = disjoint_routes(4, u, v);
+  ASSERT_EQ(routes.size(), 4u);
+  for (const auto& r : routes) {
+    EXPECT_TRUE(r.successor.valid_for_alphabet(5));
+    // successor must be an out-neighbour: suffix match + new last digit.
+    EXPECT_EQ(r.successor.prefix(3), u.suffix(3));
+    EXPECT_NE(r.successor.last(), u.last());
+  }
+}
+
+TEST(MaterializePath, ShortestMatchesNominal) {
+  const Label u = L("0123"), v = L("2301");
+  const auto routes = disjoint_routes(4, u, v);
+  for (const auto& r : routes) {
+    const auto path = materialize_path(u, v, r);
+    EXPECT_EQ(path.front(), u);
+    EXPECT_EQ(path.back(), v);
+    EXPECT_LE(static_cast<int>(path.size()) - 1, r.nominal_length)
+        << "via " << r.successor.to_string();
+    if (r.path_class == PathClass::kShortest) {
+      EXPECT_EQ(static_cast<int>(path.size()) - 1, r.nominal_length);
+    }
+  }
+}
+
+TEST(MaterializePath, PaperFourPathsAreInternallyDisjoint) {
+  const Label u = L("0123"), v = L("2301");
+  const auto routes = disjoint_routes(4, u, v);
+  std::vector<std::vector<Label>> paths;
+  for (const auto& r : routes) paths.push_back(materialize_path(u, v, r));
+  // Check pairwise internal disjointness by brute force.
+  for (std::size_t a = 0; a < paths.size(); ++a) {
+    for (std::size_t b = a + 1; b < paths.size(); ++b) {
+      for (std::size_t i = 1; i + 1 < paths[a].size(); ++i) {
+        for (std::size_t j = 1; j + 1 < paths[b].size(); ++j) {
+          EXPECT_NE(paths[a][i], paths[b][j])
+              << "paths via " << routes[a].successor.to_string() << " and "
+              << routes[b].successor.to_string() << " intersect at "
+              << paths[a][i].to_string();
+        }
+      }
+    }
+  }
+}
+
+TEST(MaterializePath, ThrowsOnHopBudgetExceeded) {
+  const Label u = L("0123"), v = L("2301");
+  const auto routes = disjoint_routes(4, u, v);
+  EXPECT_THROW(materialize_path(u, v, routes.back(), 1), std::logic_error);
+}
+
+TEST(PathClassNames, AreStable) {
+  EXPECT_STREQ(to_string(PathClass::kShortest), "shortest");
+  EXPECT_STREQ(to_string(PathClass::kV1), "v1");
+  EXPECT_STREQ(to_string(PathClass::kConflict), "conflict");
+  EXPECT_STREQ(to_string(PathClass::kOther), "other");
+}
+
+}  // namespace
+}  // namespace refer::kautz

@@ -1,0 +1,160 @@
+// Tests for the actuator coordination DHT (put/get/claim over the CAN).
+#include <gtest/gtest.h>
+
+#include "refer/coordination.hpp"
+#include "refer_fixture.hpp"
+
+namespace refer::core {
+namespace {
+
+using test::PaperScenario;
+
+class CoordinationTest : public PaperScenario {
+ protected:
+  void build() {
+    add_quincunx_actuators();
+    add_static_sensors(200);
+    ASSERT_TRUE(build_refer(ReferConfig{.run_maintenance = false}));
+    service = std::make_unique<CoordinationService>(sim, world, channel,
+                                                    system->topology());
+  }
+
+  std::unique_ptr<CoordinationService> service;
+};
+
+TEST_F(CoordinationTest, PutThenGetRoundTrips) {
+  build();
+  bool put_ok = false;
+  service->put(actuators[0], "zone-7/status", "sprinkling", [&](bool ok) {
+    put_ok = ok;
+  });
+  sim.run_until(sim.now() + 2.0);
+  ASSERT_TRUE(put_ok);
+
+  // Read it back from a *different* actuator.
+  std::optional<std::string> got;
+  bool called = false;
+  service->get(actuators[3], "zone-7/status", [&](auto value) {
+    got = value;
+    called = true;
+  });
+  sim.run_until(sim.now() + 2.0);
+  ASSERT_TRUE(called);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, "sprinkling");
+}
+
+TEST_F(CoordinationTest, GetOfMissingKeyIsEmpty) {
+  build();
+  std::optional<std::string> got = std::string("sentinel");
+  service->get(actuators[1], "never/written", [&](auto value) { got = value; });
+  sim.run_until(sim.now() + 2.0);
+  EXPECT_FALSE(got.has_value());
+}
+
+TEST_F(CoordinationTest, PutOverwrites) {
+  build();
+  service->put(actuators[0], "k", "v1", nullptr);
+  sim.run_until(sim.now() + 1.0);
+  service->put(actuators[1], "k", "v2", nullptr);
+  sim.run_until(sim.now() + 1.0);
+  std::optional<std::string> got;
+  service->get(actuators[2], "k", [&](auto value) { got = value; });
+  sim.run_until(sim.now() + 2.0);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, "v2");
+}
+
+TEST_F(CoordinationTest, ClaimFirstWriterWins) {
+  build();
+  // Two sprinklers race to claim the same fire event.
+  bool a_won = false, b_won = false;
+  std::string a_sees, b_sees;
+  service->claim(actuators[0], "fire-42/handler", "sprinkler-A",
+                 [&](bool won, std::string v) {
+                   a_won = won;
+                   a_sees = std::move(v);
+                 });
+  sim.run_until(sim.now() + 1.5);
+  service->claim(actuators[3], "fire-42/handler", "sprinkler-B",
+                 [&](bool won, std::string v) {
+                   b_won = won;
+                   b_sees = std::move(v);
+                 });
+  sim.run_until(sim.now() + 1.5);
+  EXPECT_TRUE(a_won);
+  EXPECT_FALSE(b_won);
+  EXPECT_EQ(a_sees, "sprinkler-A");
+  EXPECT_EQ(b_sees, "sprinkler-A") << "loser learns the winner";
+}
+
+TEST_F(CoordinationTest, KeysSpreadAcrossOwners) {
+  build();
+  std::set<sim::NodeId> owners;
+  for (int i = 0; i < 40; ++i) {
+    const sim::NodeId o = service->owner_of("key-" + std::to_string(i));
+    ASSERT_GE(o, 0);
+    EXPECT_TRUE(world.is_actuator(o));
+    owners.insert(o);
+  }
+  EXPECT_GE(owners.size(), 2u) << "hashing must not map everything to one cell";
+}
+
+TEST_F(CoordinationTest, RequestsChargeDataEnergy) {
+  build();
+  const double before = energy.total(sim::EnergyBucket::kData);
+  // Find a key NOT owned by actuators[0]'s cells so at least one hop is
+  // paid.
+  std::string key;
+  for (int i = 0; i < 64; ++i) {
+    key = "remote-" + std::to_string(i);
+    if (service->owner_of(key) != actuators[0]) break;
+  }
+  bool ok = false;
+  service->put(actuators[0], key, "x", [&](bool r) { ok = r; });
+  sim.run_until(sim.now() + 2.0);
+  ASSERT_TRUE(ok);
+  EXPECT_GT(energy.total(sim::EnergyBucket::kData), before);
+  EXPECT_GT(service->stats().hops, 0u);
+}
+
+TEST_F(CoordinationTest, FailsCleanlyWhenOwnerActuatorIsDead) {
+  build();
+  // Find a key owned by a different actuator than the requester, then
+  // kill the owner: the request must fail (callback with no value), not
+  // hang or crash.
+  std::string key;
+  sim::NodeId owner = -1;
+  for (int i = 0; i < 64; ++i) {
+    key = "doomed-" + std::to_string(i);
+    owner = service->owner_of(key);
+    if (owner >= 0 && owner != actuators[0]) break;
+  }
+  ASSERT_GE(owner, 0);
+  ASSERT_NE(owner, actuators[0]);
+  world.set_alive(owner, false);
+  bool called = false, ok = true;
+  service->put(actuators[0], key, "x", [&](bool r) {
+    called = true;
+    ok = r;
+  });
+  sim.run_until(sim.now() + 3.0);
+  EXPECT_TRUE(called);
+  EXPECT_FALSE(ok);
+  EXPECT_GT(service->stats().failures, 0u);
+  world.set_alive(owner, true);
+}
+
+TEST_F(CoordinationTest, StatsCountOperations) {
+  build();
+  service->put(actuators[0], "a", "1", nullptr);
+  service->get(actuators[0], "a", nullptr);
+  service->claim(actuators[0], "b", "2", nullptr);
+  sim.run_until(sim.now() + 2.0);
+  EXPECT_EQ(service->stats().puts, 1u);
+  EXPECT_EQ(service->stats().gets, 1u);
+  EXPECT_EQ(service->stats().claims, 1u);
+}
+
+}  // namespace
+}  // namespace refer::core

@@ -1,0 +1,78 @@
+// Shared test fixture: the paper's default deployment (SIV) -- a
+// 500 m x 500 m area, 5 actuators in a quincunx forming 4 triangle cells,
+// and uniformly scattered sensors.  Static sensors by default so tests
+// are geometry-stable; mobility tests opt in.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "refer/system.hpp"
+#include "sim/channel.hpp"
+#include "sim/energy.hpp"
+#include "sim/simulator.hpp"
+#include "sim/world.hpp"
+
+namespace refer::test {
+
+class PaperScenario : public ::testing::Test {
+ protected:
+  static constexpr double kArea = 500.0;
+  static constexpr double kSensorRange = 100.0;
+  static constexpr double kActuatorRange = 250.0;
+
+  PaperScenario() {
+    energy.resize(512);
+    energy.set_initial_battery(100000.0);
+  }
+
+  /// Actuators at the quincunx positions: four corners of the inner square
+  /// plus the centre -> Delaunay gives exactly 4 triangles (cells).
+  void add_quincunx_actuators() {
+    for (const Point p : {Point{125, 125}, Point{375, 125}, Point{125, 375},
+                          Point{375, 375}, Point{250, 250}}) {
+      actuators.push_back(world.add_actuator(p, kActuatorRange));
+    }
+  }
+
+  void add_static_sensors(int n, std::uint64_t seed = 42) {
+    Rng rng(seed);
+    for (int i = 0; i < n; ++i) {
+      sensors.push_back(world.add_static_sensor(
+          {rng.uniform(0, kArea), rng.uniform(0, kArea)}, kSensorRange));
+    }
+  }
+
+  void add_mobile_sensors(int n, double max_speed, std::uint64_t seed = 42) {
+    Rng rng(seed);
+    for (int i = 0; i < n; ++i) {
+      sensors.push_back(world.add_sensor(
+          {rng.uniform(0, kArea), rng.uniform(0, kArea)}, kSensorRange, 0.0,
+          max_speed, rng.split()));
+    }
+  }
+
+  /// Builds the REFER overlay and runs the simulator until it finishes.
+  /// Returns the embedding result.
+  bool build_refer(core::ReferConfig config = {}) {
+    system = std::make_unique<core::ReferSystem>(sim, world, channel, energy,
+                                                  Rng(7), config);
+    bool ok = false, called = false;
+    system->build([&](bool result) {
+      ok = result;
+      called = true;
+    });
+    sim.run_until(sim.now() + 30.0);
+    EXPECT_TRUE(called) << "embedding must complete within 30 s";
+    return ok;
+  }
+
+  sim::Simulator sim;
+  sim::World world{{{0, 0}, {kArea, kArea}}, sim};
+  sim::EnergyTracker energy;
+  sim::Channel channel{sim, world, energy, Rng(3)};
+  std::vector<sim::NodeId> actuators;
+  std::vector<sim::NodeId> sensors;
+  std::unique_ptr<core::ReferSystem> system;
+};
+
+}  // namespace refer::test

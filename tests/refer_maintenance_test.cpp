@@ -1,0 +1,140 @@
+// Tests for the topology maintenance protocol: replacement on death / low
+// battery / link stretch, probe accounting, routing after repair.
+#include <gtest/gtest.h>
+
+#include "refer_fixture.hpp"
+
+namespace refer::core {
+namespace {
+
+using test::PaperScenario;
+
+class MaintenanceTest : public PaperScenario {
+ protected:
+  void build(bool run_maintenance = false) {
+    add_quincunx_actuators();
+    add_static_sensors(200);
+    ASSERT_TRUE(build_refer(ReferConfig{.run_maintenance = run_maintenance}));
+  }
+};
+
+TEST_F(MaintenanceTest, ReplacesDeadKautzNode) {
+  build();
+  auto& topo = system->topology();
+  Cell& cell = topo.cell(0);
+  const NodeId victim = *cell.node_of(Label{0, 1, 0});
+  world.set_alive(victim, false);
+  system->maintenance().sweep();
+  const auto replacement = cell.node_of(Label{0, 1, 0});
+  ASSERT_TRUE(replacement.has_value());
+  EXPECT_NE(*replacement, victim);
+  EXPECT_TRUE(world.alive(*replacement));
+  EXPECT_EQ(topo.role(*replacement), Role::kActive);
+  EXPECT_FALSE(topo.sensor_binding(victim).has_value());
+  EXPECT_EQ(topo.sensor_binding(*replacement),
+            std::optional(FullId{0, Label{0, 1, 0}}));
+  EXPECT_GT(system->maintenance().stats().replacements, 0u);
+}
+
+TEST_F(MaintenanceTest, ReplacesLowBatteryNode) {
+  build();
+  auto& topo = system->topology();
+  Cell& cell = topo.cell(1);
+  const NodeId victim = *cell.node_of(Label{1, 0, 1});
+  // Drain the victim's battery below the threshold.
+  while (energy.battery(static_cast<std::size_t>(victim)) >= 8.0) {
+    energy.charge_tx(static_cast<std::size_t>(victim),
+                     sim::EnergyBucket::kData);
+  }
+  system->maintenance().sweep();
+  const auto replacement = cell.node_of(Label{1, 0, 1});
+  ASSERT_TRUE(replacement.has_value());
+  EXPECT_NE(*replacement, victim);
+  // The retired node goes back to the candidate pool.
+  EXPECT_EQ(topo.role(victim), Role::kWait);
+}
+
+TEST_F(MaintenanceTest, HealthyTopologyReachesFixedPoint) {
+  // The first sweep may improve a few stretched arcs left by the
+  // embedding; after that a static topology must be a fixed point.
+  build();
+  system->maintenance().sweep();
+  system->maintenance().sweep();
+  const auto settled = system->maintenance().stats().replacements;
+  system->maintenance().sweep();
+  system->maintenance().sweep();
+  EXPECT_EQ(system->maintenance().stats().replacements, settled);
+}
+
+TEST_F(MaintenanceTest, SweepsConvergeAfterRepair) {
+  // Replacements can cascade for a couple of sweeps (a new holder changes
+  // its neighbours' broken-arc counts) but must reach a fixed point.
+  build();
+  auto& cell = system->topology().cell(0);
+  const NodeId victim = *cell.node_of(Label{2, 1, 2});
+  world.set_alive(victim, false);
+  std::uint64_t prev = system->maintenance().stats().replacements;
+  bool stable = false;
+  for (int i = 0; i < 8 && !stable; ++i) {
+    system->maintenance().sweep();
+    stable = system->maintenance().stats().replacements == prev;
+    prev = system->maintenance().stats().replacements;
+  }
+  EXPECT_TRUE(stable) << "sweeps did not converge within 8 rounds";
+  EXPECT_TRUE(cell.node_of(Label{2, 1, 2}).has_value());
+}
+
+TEST_F(MaintenanceTest, ReplacementChargesMaintenanceEnergy) {
+  build();
+  const double before = energy.total(sim::EnergyBucket::kMaintenance);
+  auto& cell = system->topology().cell(0);
+  world.set_alive(*cell.node_of(Label{0, 1, 0}), false);
+  system->maintenance().sweep();
+  sim.run_until(sim.now() + 1.0);
+  EXPECT_GT(energy.total(sim::EnergyBucket::kMaintenance), before);
+}
+
+TEST_F(MaintenanceTest, PeriodicProbesRunWhenStarted) {
+  build(/*run_maintenance=*/true);
+  sim.run_until(sim.now() + 60.0);
+  EXPECT_GT(system->maintenance().stats().sweeps, 10u);
+  EXPECT_GT(system->maintenance().stats().probe_broadcasts, 0u);
+  EXPECT_GT(energy.total(sim::EnergyBucket::kMaintenance), 0.0);
+}
+
+TEST_F(MaintenanceTest, RoutingRecoversAfterRepair) {
+  build();
+  auto& topo = system->topology();
+  Cell& cell = topo.cell(0);
+  const NodeId victim = *cell.node_of(Label{0, 2, 0});
+  world.set_alive(victim, false);
+  system->maintenance().sweep();
+  // 102 -> 201 whose shortest path runs through 020 (now repaired).
+  const NodeId src = *cell.node_of(Label{1, 0, 2});
+  DeliveryReport report;
+  bool called = false;
+  system->send_to_actuator(src, 1000, [&](const DeliveryReport& r) {
+    report = r;
+    called = true;
+  });
+  sim.run_until(sim.now() + 5.0);
+  ASSERT_TRUE(called);
+  EXPECT_TRUE(report.delivered);
+}
+
+TEST_F(MaintenanceTest, MobilityTriggersReplacementsOverTime) {
+  add_quincunx_actuators();
+  add_mobile_sensors(200, 3.0);
+  ASSERT_TRUE(build_refer());  // maintenance on
+  sim.run_until(sim.now() + 120.0);
+  EXPECT_GT(system->maintenance().stats().replacements, 0u)
+      << "mobile Kautz nodes must eventually be replaced";
+  // The overlay stays complete through the churn.
+  auto& topo = system->topology();
+  for (Cid cid = 0; cid < static_cast<Cid>(topo.cell_count()); ++cid) {
+    EXPECT_TRUE(topo.cell(cid).complete(2)) << "cell " << cid;
+  }
+}
+
+}  // namespace
+}  // namespace refer::core

@@ -1,0 +1,173 @@
+// Exhaustive router-matrix tests: every label pair of every cell, and a
+// single-fault sweep over every sensor label -- the system-level
+// counterpart of the exhaustive graph-theory tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kautz/graph.hpp"
+#include "kautz/routing.hpp"
+#include "refer_fixture.hpp"
+
+namespace refer::core {
+namespace {
+
+class MatrixTest : public test::PaperScenario {
+ protected:
+  void build() {
+    add_quincunx_actuators();
+    add_static_sensors(200);
+    ASSERT_TRUE(build_refer(ReferConfig{.run_maintenance = false}));
+  }
+
+  DeliveryReport send_full(sim::NodeId src, FullId dst) {
+    DeliveryReport report;
+    bool called = false;
+    system->send_to(src, dst, 500, [&](const DeliveryReport& r) {
+      report = r;
+      called = true;
+    });
+    sim.run_until(sim.now() + 4.0);
+    EXPECT_TRUE(called);
+    return report;
+  }
+};
+
+TEST_F(MatrixTest, AllIntraCellPairsDeliverWithinDiameterBudget) {
+  build();
+  const auto& topo = system->topology();
+  int delivered = 0, total = 0;
+  for (Cid cid = 0; cid < static_cast<Cid>(topo.cell_count()); ++cid) {
+    const Cell& cell = topo.cell(cid);
+    const auto labels = cell.labels();
+    for (const auto& src_label : labels) {
+      const auto src = cell.node_of(src_label);
+      if (world.is_actuator(*src)) continue;
+      for (const auto& dst_label : labels) {
+        if (src_label == dst_label) continue;
+        ++total;
+        const auto report = send_full(*src, FullId{cid, dst_label});
+        delivered += report.delivered;
+        if (report.delivered) {
+          EXPECT_EQ(report.final_node, *cell.node_of(dst_label));
+        }
+      }
+    }
+  }
+  // Static, healthy network: the whole matrix must deliver.
+  EXPECT_EQ(delivered, total) << delivered << "/" << total;
+}
+
+TEST_F(MatrixTest, SingleFaultNeverPartitionsACell) {
+  // Kill each sensor label of cell 0 in turn; every pair among the
+  // *remaining* labels must still deliver (d = 2 disjoint paths tolerate
+  // any single failure, SIII-C).
+  build();
+  auto& topo = system->topology();
+  const Cell& cell = topo.cell(0);
+  const auto labels = cell.labels();
+  for (const auto& victim_label : labels) {
+    const auto victim = cell.node_of(victim_label);
+    if (world.is_actuator(*victim)) continue;
+    world.set_alive(*victim, false);
+    int delivered = 0, total = 0;
+    for (const auto& src_label : labels) {
+      if (src_label == victim_label) continue;
+      const auto src = cell.node_of(src_label);
+      if (world.is_actuator(*src)) continue;
+      for (const auto& dst_label : labels) {
+        if (dst_label == src_label || dst_label == victim_label) continue;
+        ++total;
+        delivered += send_full(*src, FullId{0, dst_label}).delivered;
+      }
+    }
+    EXPECT_EQ(delivered, total)
+        << "victim " << victim_label.to_string() << ": " << delivered << "/"
+        << total;
+    world.set_alive(*victim, true);
+  }
+}
+
+TEST_F(MatrixTest, ChannelAirtimeConcentratesOnRelays) {
+  build();
+  Rng rng(3);
+  for (int i = 0; i < 40; ++i) {
+    system->send_to_actuator(system->random_active_sensor(rng), 2500,
+                             nullptr);
+    sim.run_until(sim.now() + 0.3);
+  }
+  const auto busiest = channel.busiest_nodes(5);
+  ASSERT_FALSE(busiest.empty());
+  // The busiest transmitters must be overlay members (actives/actuators),
+  // not sleepers.
+  for (const auto& [node, airtime] : busiest) {
+    EXPECT_GT(airtime, 0.0);
+    const Role r = system->topology().role(node);
+    EXPECT_TRUE(r == Role::kActive || r == Role::kActuator)
+        << "node " << node << " role " << to_string(r);
+  }
+  EXPECT_GT(channel.stats().total_airtime_s, 0.0);
+}
+
+TEST_F(MatrixTest, RealizedPathsMatchTheoryOnHealthyCell) {
+  // On a healthy static cell the router must take exactly the greedy
+  // shortest Kautz path: kautz_hops == k - L(src, dst).
+  build();
+  const auto& topo = system->topology();
+  const Cell& cell = topo.cell(1);
+  for (const auto& src_label : cell.labels()) {
+    const auto src = cell.node_of(src_label);
+    if (world.is_actuator(*src)) continue;
+    for (const auto& dst_label : cell.labels()) {
+      if (dst_label == src_label) continue;
+      const auto report = send_full(*src, FullId{1, dst_label});
+      ASSERT_TRUE(report.delivered);
+      EXPECT_EQ(report.kautz_hops,
+                kautz::kautz_distance(src_label, dst_label))
+          << src_label.to_string() << " -> " << dst_label.to_string();
+    }
+  }
+}
+
+TEST(MatrixScale, LargeStripDeploymentWorksEndToEnd) {
+  // 8 actuators in a zig-zag strip, 500 sensors: more cells, more CAN
+  // hops, bigger floods -- the system must still build and deliver.
+  sim::Simulator simulator;
+  sim::World world({{0, 0}, {900, 500}}, simulator);
+  sim::EnergyTracker energy;
+  sim::Channel channel(simulator, world, energy, Rng(3));
+  for (int i = 0; i < 8; ++i) {
+    world.add_actuator({130.0 + 90.0 * i, i % 2 ? 310.0 : 190.0}, 250);
+  }
+  Rng rng(42);
+  for (int i = 0; i < 500; ++i) {
+    const Point anchor = world.position(static_cast<int>(rng.below(8)));
+    const double ang = rng.uniform(0, 6.28318530717958648);
+    const double rad = 200 * std::sqrt(rng.uniform());
+    world.add_static_sensor(
+        clamp({anchor.x + rad * std::cos(ang), anchor.y + rad * std::sin(ang)},
+              {{0, 0}, {900, 500}}),
+        100);
+  }
+  energy.resize(world.size());
+  energy.set_initial_battery(1e9);
+  ReferSystem system(simulator, world, channel, energy, Rng(7));
+  bool ok = false;
+  system.build([&](bool r) { ok = r; });
+  simulator.run_until(60);
+  ASSERT_TRUE(ok);
+  EXPECT_GE(system.topology().cell_count(), 5u);
+  Rng pick(9);
+  int delivered = 0;
+  for (int i = 0; i < 30; ++i) {
+    const sim::NodeId src = system.random_active_sensor(pick);
+    system.send_to_actuator(src, 1000, [&](const DeliveryReport& r) {
+      delivered += r.delivered;
+    });
+    simulator.run_until(simulator.now() + 1.0);
+  }
+  EXPECT_GE(delivered, 27);
+}
+
+}  // namespace
+}  // namespace refer::core

@@ -1,0 +1,221 @@
+// Tests for the general-K(d,k) oracle embedding and the full stack on
+// non-default Kautz parameters (paper SV future work).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "kautz/graph.hpp"
+#include "refer/validate.hpp"
+#include "refer_fixture.hpp"
+
+namespace refer::core {
+namespace {
+
+using test::PaperScenario;
+
+class OracleTest : public PaperScenario {
+ protected:
+  bool build_oracle(int d, int k, int sensors_n = 200) {
+    add_quincunx_actuators();
+    add_static_sensors(sensors_n);
+    ReferConfig config;
+    config.use_oracle_embedding = true;
+    config.oracle.d = d;
+    config.oracle.k = k;
+    config.run_maintenance = false;
+    return build_refer(config);
+  }
+};
+
+TEST_F(OracleTest, EmbedsK23) {
+  ASSERT_TRUE(build_oracle(2, 3));
+  const auto& topo = system->topology();
+  EXPECT_EQ(topo.cell_count(), 4u);
+  EXPECT_EQ(topo.degree(), 2);
+  EXPECT_EQ(topo.diameter(), 3);
+  for (Cid cid = 0; cid < 4; ++cid) {
+    EXPECT_TRUE(topo.cell(cid).complete(2, 3));
+    EXPECT_EQ(topo.cell(cid).corner_labels().size(), 3u);
+  }
+}
+
+TEST_F(OracleTest, EmbedsK24) {
+  // K(2,4): 24 nodes per cell -> 21 sensor labels x 4 cells = 84 sensors.
+  ASSERT_TRUE(build_oracle(2, 4));
+  const auto& topo = system->topology();
+  EXPECT_EQ(topo.diameter(), 4);
+  for (Cid cid = 0; cid < static_cast<Cid>(topo.cell_count()); ++cid) {
+    EXPECT_TRUE(topo.cell(cid).complete(2, 4)) << "cell " << cid;
+  }
+  EXPECT_EQ(topo.active_sensors().size(), topo.cell_count() * (24 - 3));
+}
+
+TEST_F(OracleTest, EmbedsK33WithEnoughSensors) {
+  // K(3,3): 36 nodes per cell -> 33 x 4 = 132 sensors.
+  ASSERT_TRUE(build_oracle(3, 3, 250));
+  const auto& topo = system->topology();
+  EXPECT_EQ(topo.degree(), 3);
+  for (Cid cid = 0; cid < static_cast<Cid>(topo.cell_count()); ++cid) {
+    EXPECT_TRUE(topo.cell(cid).complete(3, 3));
+  }
+}
+
+TEST_F(OracleTest, FailsWhenTooFewSensors) {
+  // K(4,3): 80 nodes per cell -> 77 x 4 = 308 sensors needed, only 100.
+  EXPECT_FALSE(build_oracle(4, 3, 100));
+}
+
+TEST_F(OracleTest, PartialCellsRouteWithDegradedRedundancy) {
+  // Sparse mode: 100 sensors for a K(4,3) deployment that needs 308.
+  // Cells stay partial; the router skips unbound successors, so traffic
+  // still flows, just with fewer disjoint alternatives.
+  add_quincunx_actuators();
+  add_static_sensors(100);
+  ReferConfig config;
+  config.use_oracle_embedding = true;
+  config.oracle.d = 4;
+  config.oracle.k = 3;
+  config.oracle.allow_partial = true;
+  config.run_maintenance = false;
+  ASSERT_TRUE(build_refer(config));
+  const auto& topo = system->topology();
+  // At least one cell must be partial.
+  bool any_partial = false;
+  for (Cid cid = 0; cid < static_cast<Cid>(topo.cell_count()); ++cid) {
+    if (!topo.cell(cid).complete(4, 3)) any_partial = true;
+  }
+  EXPECT_TRUE(any_partial);
+  // The invariant audit passes with completeness waived.
+  const auto violations = validate_topology(
+      topo, world, ValidationOptions{.require_complete_cells = false});
+  EXPECT_TRUE(violations.empty())
+      << (violations.empty() ? "" : violations.front());
+  // Traffic still flows.
+  Rng rng(5);
+  int delivered = 0;
+  const int total = 20;
+  for (int i = 0; i < total; ++i) {
+    const sim::NodeId src = system->random_active_sensor(rng);
+    bool ok = false;
+    system->send_to_actuator(src, 1000,
+                             [&](const DeliveryReport& r) { ok = r.delivered; });
+    sim.run_until(sim.now() + 3.0);
+    delivered += ok;
+  }
+  // With 2/3 of the overlay labels unbound this is a severely degraded
+  // regime; the point is graceful degradation (no crash, no hang, a
+  // majority still delivered), not full service.
+  EXPECT_GE(delivered, total / 2)
+      << delivered << "/" << total << " on partial cells";
+}
+
+TEST_F(OracleTest, BindingsAreABijection) {
+  ASSERT_TRUE(build_oracle(2, 4));
+  const auto& topo = system->topology();
+  std::set<sim::NodeId> seen;
+  for (Cid cid = 0; cid < static_cast<Cid>(topo.cell_count()); ++cid) {
+    for (sim::NodeId n : topo.cell(cid).nodes()) {
+      if (world.is_actuator(n)) continue;
+      EXPECT_TRUE(seen.insert(n).second) << "sensor " << n << " double-bound";
+    }
+  }
+}
+
+TEST_F(OracleTest, HamiltonianNeighborsArePhysicallyClose) {
+  // The whole point of the ring layout: cycle-consecutive labels must be
+  // near each other, so most ring arcs are directly connected.
+  ASSERT_TRUE(build_oracle(2, 3));
+  const auto& topo = system->topology();
+  const kautz::Graph g(2, 3);
+  const auto cycle = g.hamiltonian_cycle();
+  int ring_arcs = 0, direct = 0;
+  for (Cid cid = 0; cid < static_cast<Cid>(topo.cell_count()); ++cid) {
+    const Cell& cell = topo.cell(cid);
+    for (std::size_t i = 0; i + 1 < cycle.size(); ++i) {
+      const auto a = cell.node_of(cycle[i]);
+      const auto b = cell.node_of(cycle[i + 1]);
+      if (!a || !b) continue;
+      ++ring_arcs;
+      direct += (world.can_reach(*a, *b) || world.can_reach(*b, *a));
+    }
+  }
+  EXPECT_GT(ring_arcs, 0);
+  EXPECT_GT(direct * 10, ring_arcs * 6)
+      << direct << "/" << ring_arcs << " ring arcs direct";
+}
+
+TEST_F(OracleTest, RoutingWorksOnK24Cells) {
+  ASSERT_TRUE(build_oracle(2, 4));
+  Rng rng(5);
+  int delivered = 0;
+  for (int i = 0; i < 15; ++i) {
+    const sim::NodeId src = system->random_active_sensor(rng);
+    ASSERT_GE(src, 0);
+    bool called = false;
+    DeliveryReport report;
+    system->send_to_actuator(src, 1000, [&](const DeliveryReport& r) {
+      called = true;
+      report = r;
+    });
+    sim.run_until(sim.now() + 5.0);
+    ASSERT_TRUE(called);
+    delivered += report.delivered;
+    if (report.delivered) {
+      EXPECT_LE(report.kautz_hops, 4) << "K(2,4) diameter bound";
+    }
+  }
+  EXPECT_GE(delivered, 12);
+}
+
+TEST_F(OracleTest, RoutingWorksOnK33Cells) {
+  ASSERT_TRUE(build_oracle(3, 3, 250));
+  Rng rng(5);
+  int delivered = 0;
+  for (int i = 0; i < 15; ++i) {
+    const sim::NodeId src = system->random_active_sensor(rng);
+    bool called = false;
+    DeliveryReport report;
+    system->send_to_actuator(src, 1000, [&](const DeliveryReport& r) {
+      called = true;
+      report = r;
+    });
+    sim.run_until(sim.now() + 5.0);
+    ASSERT_TRUE(called);
+    delivered += report.delivered;
+  }
+  EXPECT_GE(delivered, 12);
+}
+
+TEST_F(OracleTest, MaintenanceRepairsOracleCells) {
+  add_quincunx_actuators();
+  add_static_sensors(200);
+  ReferConfig config;
+  config.use_oracle_embedding = true;
+  config.oracle.d = 2;
+  config.oracle.k = 4;
+  config.run_maintenance = false;
+  ASSERT_TRUE(build_refer(config));
+  auto& topo = system->topology();
+  Cell& cell = topo.cell(0);
+  // Kill a sensor-held label and sweep.
+  sim::NodeId victim = -1;
+  Label victim_label;
+  for (const Label& l : cell.labels()) {
+    const auto n = cell.node_of(l);
+    if (n && !world.is_actuator(*n)) {
+      victim = *n;
+      victim_label = l;
+      break;
+    }
+  }
+  ASSERT_GE(victim, 0);
+  world.set_alive(victim, false);
+  system->maintenance().sweep();
+  const auto replacement = cell.node_of(victim_label);
+  ASSERT_TRUE(replacement.has_value());
+  EXPECT_NE(*replacement, victim);
+  EXPECT_TRUE(world.alive(*replacement));
+}
+
+}  // namespace
+}  // namespace refer::core

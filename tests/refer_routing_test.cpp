@@ -1,0 +1,327 @@
+// Tests for the REFER router: intra-cell Theorem 3.8 fail-over, relay
+// detours, inter-cell CAN transit, delivery accounting.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "refer_fixture.hpp"
+
+namespace refer::core {
+namespace {
+
+using test::PaperScenario;
+
+class RoutingTest : public PaperScenario {
+ protected:
+  void build() {
+    add_quincunx_actuators();
+    add_static_sensors(200);
+    ASSERT_TRUE(build_refer(ReferConfig{.run_maintenance = false}));
+  }
+
+  DeliveryReport send_and_wait_actuator(NodeId src) {
+    DeliveryReport report;
+    bool called = false;
+    system->send_to_actuator(src, 1000, [&](const DeliveryReport& r) {
+      report = r;
+      called = true;
+    });
+    sim.run_until(sim.now() + 5.0);
+    EXPECT_TRUE(called);
+    return report;
+  }
+
+  DeliveryReport send_and_wait_full(NodeId src, FullId dst) {
+    DeliveryReport report;
+    bool called = false;
+    system->send_to(src, dst, 1000, [&](const DeliveryReport& r) {
+      report = r;
+      called = true;
+    });
+    sim.run_until(sim.now() + 5.0);
+    EXPECT_TRUE(called);
+    return report;
+  }
+};
+
+TEST_F(RoutingTest, ActiveSensorReachesActuatorFast) {
+  build();
+  Rng rng(17);
+  for (int i = 0; i < 10; ++i) {
+    const NodeId src = system->random_active_sensor(rng);
+    ASSERT_GE(src, 0);
+    const auto report = send_and_wait_actuator(src);
+    EXPECT_TRUE(report.delivered);
+    EXPECT_TRUE(world.is_actuator(report.final_node));
+    EXPECT_LT(report.delay_s, 0.6) << "QoS bound (paper SIV)";
+    EXPECT_LE(report.kautz_hops, 3) << "at most the K(2,3) diameter";
+  }
+}
+
+TEST_F(RoutingTest, ActuatorSourceDeliversImmediately) {
+  build();
+  const auto report = send_and_wait_actuator(actuators[0]);
+  EXPECT_TRUE(report.delivered);
+  EXPECT_EQ(report.final_node, actuators[0]);
+  EXPECT_EQ(report.physical_hops, 0);
+}
+
+TEST_F(RoutingTest, WaitSensorEntersOverlayThroughNearestMember) {
+  build();
+  // Find a wait-state sensor.
+  NodeId src = -1;
+  for (NodeId s : sensors) {
+    if (system->topology().role(s) == Role::kWait) {
+      src = s;
+      break;
+    }
+  }
+  ASSERT_GE(src, 0);
+  const auto report = send_and_wait_actuator(src);
+  EXPECT_TRUE(report.delivered);
+  EXPECT_TRUE(world.is_actuator(report.final_node));
+}
+
+TEST_F(RoutingTest, FailoverRoutesAroundDeadSuccessor) {
+  build();
+  // Pick a cell and kill the shortest-path successor between a known pair:
+  // source 102 routing to 201 goes through 020 (paper Figure 1 example);
+  // the alternative successor is 021.
+  auto& topo = system->topology();
+  const Cell& cell = topo.cell(0);
+  const NodeId src = *cell.node_of(Label{1, 0, 2});
+  const NodeId blocker = *cell.node_of(Label{0, 2, 0});
+  world.set_alive(blocker, false);
+  const auto before = system->router().stats().failovers;
+  const auto report = send_and_wait_actuator(src);
+  EXPECT_TRUE(report.delivered);
+  EXPECT_GT(system->router().stats().failovers, before)
+      << "the dead successor must trigger a local fail-over";
+}
+
+TEST_F(RoutingTest, DropsWhenWholeNeighborhoodIsDead) {
+  build();
+  auto& topo = system->topology();
+  const Cell& cell = topo.cell(0);
+  const NodeId src = *cell.node_of(Label{1, 0, 2});
+  // Kill every possible successor of 102 (020, 021) and every other
+  // sensor it could relay through -- isolate the node completely.
+  for (NodeId s : sensors) {
+    if (s != src) world.set_alive(s, false);
+  }
+  for (NodeId a : actuators) world.set_alive(a, false);
+  const auto report = send_and_wait_actuator(src);
+  EXPECT_FALSE(report.delivered);
+  EXPECT_GT(system->router().stats().packets_dropped, 0u);
+}
+
+TEST_F(RoutingTest, FullAddressingWithinSameCell) {
+  build();
+  const Cell& cell = system->topology().cell(0);
+  const NodeId src = *cell.node_of(Label{0, 1, 0});
+  const auto report =
+      send_and_wait_full(src, FullId{0, Label{2, 1, 0}});
+  EXPECT_TRUE(report.delivered);
+  EXPECT_EQ(report.final_node, *cell.node_of(Label{2, 1, 0}));
+}
+
+TEST_F(RoutingTest, FullAddressingAcrossCells) {
+  build();
+  auto& topo = system->topology();
+  ASSERT_GE(topo.cell_count(), 2u);
+  const Cell& src_cell = topo.cell(0);
+  const Cid dst_cid = static_cast<Cid>(topo.cell_count()) - 1;
+  const Cell& dst_cell = topo.cell(dst_cid);
+  const NodeId src = *src_cell.node_of(Label{0, 1, 0});
+  const Label dst_kid{1, 0, 1};
+  const auto report = send_and_wait_full(src, FullId{dst_cid, dst_kid});
+  EXPECT_TRUE(report.delivered);
+  EXPECT_EQ(report.final_node, *dst_cell.node_of(dst_kid));
+  EXPECT_LT(report.delay_s, 1.0);
+}
+
+TEST_F(RoutingTest, CrossCellUsesCanHopsOnStripTopology) {
+  // In the quincunx every cell pair shares an actuator, so CAN transit is
+  // never needed; a zig-zag strip of 6 actuators yields a chain of 4
+  // cells where the end cells share no corner -- the packet must hop the
+  // CAN.
+  for (int i = 0; i < 6; ++i) {
+    actuators.push_back(world.add_actuator(
+        {60.0 + 80.0 * i, i % 2 ? 320.0 : 180.0}, kActuatorRange));
+  }
+  add_static_sensors(300);
+  ASSERT_TRUE(build_refer(ReferConfig{.run_maintenance = false}));
+  auto& topo = system->topology();
+  ASSERT_GE(topo.cell_count(), 3u);
+  // Find two cells with disjoint corner sets.
+  Cid from_cid = -1, to_cid = -1;
+  for (Cid a = 0; a < static_cast<Cid>(topo.cell_count()) && from_cid < 0;
+       ++a) {
+    for (Cid b = 0; b < static_cast<Cid>(topo.cell_count()); ++b) {
+      std::set<NodeId> corners;
+      for (const auto& c : topo.cell(a).corner_actuators()) corners.insert(*c);
+      bool disjoint = true;
+      for (const auto& c : topo.cell(b).corner_actuators()) {
+        if (corners.contains(*c)) disjoint = false;
+      }
+      if (disjoint) {
+        from_cid = a;
+        to_cid = b;
+        break;
+      }
+    }
+  }
+  ASSERT_GE(from_cid, 0) << "strip must contain corner-disjoint cells";
+  const NodeId src = *topo.cell(from_cid).node_of(Label{0, 1, 0});
+  const auto before = system->router().stats().can_hops;
+  const auto report = send_and_wait_full(src, FullId{to_cid, Label{1, 0, 1}});
+  EXPECT_TRUE(report.delivered);
+  EXPECT_GT(system->router().stats().can_hops, before);
+}
+
+TEST_F(RoutingTest, AscentRetargetsWhenNearestActuatorDies) {
+  // Kill a corner actuator: packets that would ascend to it must
+  // re-target another corner of the cell instead of dropping.
+  build();
+  auto& topo = system->topology();
+  const Cell& cell = topo.cell(0);
+  // Sensor 101 is one Kautz hop from corner 012.
+  const NodeId src = *cell.node_of(Label{1, 0, 1});
+  const NodeId near_corner = *cell.node_of(Label{0, 1, 2});
+  world.set_alive(near_corner, false);
+  const auto report = send_and_wait_actuator(src);
+  EXPECT_TRUE(report.delivered);
+  EXPECT_TRUE(world.is_actuator(report.final_node));
+  EXPECT_NE(report.final_node, near_corner);
+  world.set_alive(near_corner, true);
+}
+
+TEST_F(RoutingTest, EqualLengthTieBreakIsRandomised) {
+  // From 010 towards 121 (l = 0) both K(2,3) alternatives... the paper's
+  // random choice applies to equal-length path sets; verify the router
+  // does not always pick the same successor for a pair with two
+  // same-length options by sampling many sends and checking both
+  // successors carried traffic.  Pair 010 -> 121: shortest k (via 101?);
+  // use stats: the simpler observable is that repeated sends still all
+  // deliver (randomisation must not break routing).
+  build();
+  const Cell& cell = system->topology().cell(0);
+  const NodeId src = *cell.node_of(Label{0, 1, 0});
+  for (int i = 0; i < 10; ++i) {
+    const auto report = send_and_wait_actuator(src);
+    EXPECT_TRUE(report.delivered);
+  }
+}
+
+TEST_F(RoutingTest, ConflictRouteDirectiveIsFollowed) {
+  // K(2,3) pair 010 -> 021 has a conflict-class alternative (successor
+  // 101 with forced second hop 012, Proposition 3.7).  Killing the
+  // shortest successor 102 forces the router onto it.
+  build();
+  const auto routes = kautz::disjoint_routes(2, Label{0, 1, 0},
+                                             Label{0, 2, 1});
+  ASSERT_EQ(routes.size(), 2u);
+  ASSERT_EQ(routes[0].successor, (Label{1, 0, 2}));
+  ASSERT_EQ(routes[1].path_class, kautz::PathClass::kConflict);
+  ASSERT_TRUE(routes[1].forced_second_hop.has_value());
+  EXPECT_EQ(*routes[1].forced_second_hop, (Label{0, 1, 2}));
+
+  const Cell& cell = system->topology().cell(0);
+  const NodeId src = *cell.node_of(Label{0, 1, 0});
+  world.set_alive(*cell.node_of(Label{1, 0, 2}), false);
+  const auto before = system->router().stats().failovers;
+  const auto report = send_and_wait_full(src, FullId{0, Label{0, 2, 1}});
+  EXPECT_TRUE(report.delivered);
+  EXPECT_EQ(report.final_node, *cell.node_of(Label{0, 2, 1}));
+  EXPECT_GT(system->router().stats().failovers, before);
+}
+
+TEST_F(RoutingTest, ActuatorCommandsSensorsReverseDirection) {
+  // The paper's bidirectional claim (SIII-B: "communication in the other
+  // direction can be conducted by simply reversing the direction"): an
+  // actuator addresses a command to a specific sensor (cid, kid).
+  build();
+  auto& topo = system->topology();
+  for (Cid cid = 0; cid < static_cast<Cid>(topo.cell_count()); ++cid) {
+    const Label kid{2, 1, 0};
+    const NodeId target = *topo.cell(cid).node_of(kid);
+    const auto report =
+        send_and_wait_full(actuators[0], FullId{cid, kid});
+    EXPECT_TRUE(report.delivered) << "cell " << cid;
+    EXPECT_EQ(report.final_node, target) << "cell " << cid;
+  }
+}
+
+TEST_F(RoutingTest, AnySensorPairCanCommunicate) {
+  // Full any-to-any addressing within and across cells.
+  build();
+  auto& topo = system->topology();
+  Rng rng(41);
+  int delivered = 0;
+  const int total = 20;
+  for (int i = 0; i < total; ++i) {
+    const NodeId src = system->random_active_sensor(rng);
+    const Cid dst_cid =
+        static_cast<Cid>(rng.below(topo.cell_count()));
+    const auto labels = topo.cell(dst_cid).labels();
+    const Label dst_kid = labels[rng.below(labels.size())];
+    const NodeId dst_node = *topo.cell(dst_cid).node_of(dst_kid);
+    if (dst_node == src) continue;
+    const auto report = send_and_wait_full(src, FullId{dst_cid, dst_kid});
+    EXPECT_TRUE(report.delivered)
+        << src << " -> " << FullId{dst_cid, dst_kid}.to_string();
+    delivered += report.delivered;
+  }
+  EXPECT_GE(delivered, total - 2);
+}
+
+TEST_F(RoutingTest, InvalidDestinationCellDropsCleanly) {
+  build();
+  const NodeId src = *system->topology().cell(0).node_of(Label{0, 1, 0});
+  const auto report = send_and_wait_full(src, FullId{99, Label{1, 0, 1}});
+  EXPECT_FALSE(report.delivered);
+}
+
+TEST_F(RoutingTest, DeliveryCountsMatchStats) {
+  build();
+  Rng rng(23);
+  int delivered = 0, dropped = 0;
+  for (int i = 0; i < 20; ++i) {
+    const NodeId src = system->random_active_sensor(rng);
+    const auto r = send_and_wait_actuator(src);
+    r.delivered ? ++delivered : ++dropped;
+  }
+  const auto& stats = system->router().stats();
+  EXPECT_EQ(stats.packets_sent, 20u);
+  EXPECT_EQ(stats.packets_delivered, static_cast<std::uint64_t>(delivered));
+  EXPECT_EQ(stats.packets_dropped, static_cast<std::uint64_t>(dropped));
+}
+
+TEST_F(RoutingTest, DataEnergyChargedToDataBucket) {
+  build();
+  const double before = energy.total(sim::EnergyBucket::kData);
+  Rng rng(29);
+  send_and_wait_actuator(system->random_active_sensor(rng));
+  EXPECT_GT(energy.total(sim::EnergyBucket::kData), before);
+}
+
+TEST_F(RoutingTest, MobileScenarioStillDelivers) {
+  add_quincunx_actuators();
+  add_mobile_sensors(200, 3.0);
+  ASSERT_TRUE(build_refer());  // with maintenance
+  Rng rng(31);
+  int delivered = 0;
+  const int total = 30;
+  for (int i = 0; i < total; ++i) {
+    sim.run_until(sim.now() + 2.0);  // let nodes move between sends
+    const NodeId src = system->random_active_sensor(rng);
+    if (src < 0) continue;
+    const auto r = send_and_wait_actuator(src);
+    delivered += r.delivered;
+  }
+  EXPECT_GT(delivered * 10, total * 7)
+      << delivered << "/" << total << " delivered under mobility";
+}
+
+}  // namespace
+}  // namespace refer::core

@@ -1,0 +1,99 @@
+// Unit tests for the Topology bookkeeping layer and its id types.
+#include <gtest/gtest.h>
+
+#include "refer/topology.hpp"
+
+namespace refer::core {
+namespace {
+
+TEST(FullId, ToStringFormat) {
+  EXPECT_EQ((FullId{5, Label{2, 0, 1}}).to_string(), "(5,201)");
+  EXPECT_EQ((FullId{}).to_string(), "(-1,)");
+}
+
+TEST(FullId, Equality) {
+  EXPECT_EQ((FullId{1, Label{0, 1, 2}}), (FullId{1, Label{0, 1, 2}}));
+  EXPECT_FALSE((FullId{1, Label{0, 1, 2}}) == (FullId{2, Label{0, 1, 2}}));
+  EXPECT_FALSE((FullId{1, Label{0, 1, 2}}) == (FullId{1, Label{2, 1, 0}}));
+}
+
+TEST(RoleNames, AreStable) {
+  EXPECT_STREQ(to_string(Role::kActuator), "actuator");
+  EXPECT_STREQ(to_string(Role::kActive), "active");
+  EXPECT_STREQ(to_string(Role::kWait), "wait");
+  EXPECT_STREQ(to_string(Role::kSleep), "sleep");
+}
+
+TEST(Topology, CellsGetDenseCids) {
+  Topology topo;
+  EXPECT_EQ(topo.add_cell({10, 10}), 0);
+  EXPECT_EQ(topo.add_cell({20, 20}), 1);
+  EXPECT_EQ(topo.cell_count(), 2u);
+  EXPECT_EQ(topo.cell(1).center(), (Point{20, 20}));
+}
+
+TEST(Topology, DefaultRoleIsSleep) {
+  Topology topo;
+  EXPECT_EQ(topo.role(42), Role::kSleep);
+  topo.set_role(42, Role::kWait);
+  EXPECT_EQ(topo.role(42), Role::kWait);
+}
+
+TEST(Topology, SensorBindingRoundTrip) {
+  Topology topo;
+  EXPECT_FALSE(topo.sensor_binding(7).has_value());
+  topo.set_sensor_binding(7, FullId{0, Label{0, 1, 0}});
+  ASSERT_TRUE(topo.sensor_binding(7).has_value());
+  EXPECT_EQ(topo.sensor_binding(7)->kid, (Label{0, 1, 0}));
+  topo.clear_sensor_binding(7);
+  EXPECT_FALSE(topo.sensor_binding(7).has_value());
+}
+
+TEST(Topology, ActuatorCellsAccumulate) {
+  Topology topo;
+  EXPECT_TRUE(topo.actuator_cells(3).empty());
+  topo.add_actuator_cell(3, 0);
+  topo.add_actuator_cell(3, 2);
+  EXPECT_EQ(topo.actuator_cells(3), (std::vector<Cid>{0, 2}));
+  EXPECT_FALSE(topo.actuator_label(3).has_value());
+  topo.set_actuator_label(3, Label{1, 2, 0});
+  EXPECT_EQ(topo.actuator_label(3), std::optional<Label>(Label{1, 2, 0}));
+}
+
+TEST(Topology, CanPointNormalisesIntoUnitSquare) {
+  const Rect area{{0, 0}, {500, 500}};
+  const Point p = Topology::can_point({250, 125}, area);
+  EXPECT_DOUBLE_EQ(p.x, 0.5);
+  EXPECT_DOUBLE_EQ(p.y, 0.25);
+  // Clamped strictly inside for CAN membership.
+  const Point edge = Topology::can_point({500, 500}, area);
+  EXPECT_LT(edge.x, 1.0);
+  EXPECT_LT(edge.y, 1.0);
+  const Point outside = Topology::can_point({-10, 600}, area);
+  EXPECT_GE(outside.x, 0.0);
+  EXPECT_LT(outside.y, 1.0);
+}
+
+TEST(Topology, DegreeAndDiameterDefaults) {
+  Topology topo;
+  EXPECT_EQ(topo.degree(), 2);
+  EXPECT_EQ(topo.diameter(), 3);
+  topo.set_degree(3);
+  topo.set_diameter(4);
+  EXPECT_EQ(topo.degree(), 3);
+  EXPECT_EQ(topo.diameter(), 4);
+}
+
+TEST(Topology, ActiveSensorsListsOnlyActives) {
+  Topology topo;
+  topo.set_role(1, Role::kActive);
+  topo.set_role(2, Role::kWait);
+  topo.set_role(3, Role::kActive);
+  topo.set_role(4, Role::kActuator);
+  auto active = topo.active_sensors();
+  std::sort(active.begin(), active.end());
+  EXPECT_EQ(active, (std::vector<NodeId>{1, 3}));
+}
+
+}  // namespace
+}  // namespace refer::core

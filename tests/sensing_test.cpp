@@ -1,0 +1,129 @@
+// Tests for the sensing substrate: events, detection, coverage -- and the
+// WSAN-level property the paper's awake/sleep scheme promises: the awake
+// subset (active + wait sensors) keeps the cells' sensing coverage.
+#include <gtest/gtest.h>
+
+#include "sensing/event_field.hpp"
+#include "refer_fixture.hpp"
+
+namespace refer::sensing {
+namespace {
+
+TEST(EventField, ScriptedEventsActivateOnSchedule) {
+  EventField field;
+  const int id = field.add_event({100, 100}, 5.0, 10.0);
+  EXPECT_EQ(id, 0);
+  EXPECT_TRUE(field.active_at(4.9).empty());
+  ASSERT_EQ(field.active_at(5.0).size(), 1u);
+  ASSERT_EQ(field.active_at(14.9).size(), 1u);
+  EXPECT_TRUE(field.active_at(15.0).empty());
+}
+
+TEST(EventField, MultipleOverlappingEvents) {
+  EventField field;
+  field.add_event({0, 0}, 0.0, 10.0);
+  field.add_event({10, 10}, 5.0, 10.0);
+  EXPECT_EQ(field.active_at(2.0).size(), 1u);
+  EXPECT_EQ(field.active_at(7.0).size(), 2u);
+  EXPECT_EQ(field.active_at(12.0).size(), 1u);
+}
+
+TEST(EventField, PoissonGenerationRespectsHorizonAndArea) {
+  EventField field;
+  Rng rng(5);
+  const Rect area{{0, 0}, {500, 500}};
+  field.generate_poisson(area, /*mean=*/5.0, /*horizon=*/200.0,
+                         /*duration=*/3.0, rng);
+  EXPECT_GT(field.events().size(), 20u);
+  EXPECT_LT(field.events().size(), 80u);
+  for (const Event& e : field.events()) {
+    EXPECT_TRUE(area.contains(e.position));
+    EXPECT_LT(e.start_s, 200.0);
+    EXPECT_DOUBLE_EQ(e.duration_s, 3.0);
+  }
+}
+
+TEST(DetectionModel, CertainInsideImpossibleOutside) {
+  const DetectionModel model;
+  const Event e{0, {0, 0}, 0, 1, 1.0};
+  EXPECT_DOUBLE_EQ(model.probability({10, 0}, e), 1.0);
+  EXPECT_DOUBLE_EQ(model.probability({29.9, 0}, e), 1.0);
+  EXPECT_DOUBLE_EQ(model.probability({80, 0}, e), 0.0);
+  EXPECT_DOUBLE_EQ(model.probability({200, 0}, e), 0.0);
+}
+
+TEST(DetectionModel, ProbabilityDecaysMonotonically) {
+  const DetectionModel model;
+  const Event e{0, {0, 0}, 0, 1, 1.0};
+  double prev = 1.0;
+  for (double d = 30; d < 80; d += 5) {
+    const double p = model.probability({d, 0}, e);
+    EXPECT_LE(p, prev + 1e-12) << "at d=" << d;
+    EXPECT_GE(p, 0.0);
+    prev = p;
+  }
+}
+
+TEST(DetectionModel, IntensityScalesTheDiscs) {
+  const DetectionModel model;
+  const Event strong{0, {0, 0}, 0, 1, 2.0};
+  EXPECT_DOUBLE_EQ(model.probability({50, 0}, strong), 1.0);  // 50 < 2*30
+  EXPECT_DOUBLE_EQ(model.probability({170, 0}, strong), 0.0);
+}
+
+TEST(DetectionModel, SamplingMatchesProbability) {
+  const DetectionModel model;
+  const Event e{0, {0, 0}, 0, 1, 1.0};
+  Rng rng(11);
+  const Point sensor{45, 0};
+  const double p = model.probability(sensor, e);
+  ASSERT_GT(p, 0.0);
+  ASSERT_LT(p, 1.0);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += model.detects(rng, sensor, e);
+  EXPECT_NEAR(static_cast<double>(hits) / n, p, 0.02);
+}
+
+TEST(Coverage, FullAndEmpty) {
+  Rng rng(3);
+  const Rect region{{0, 0}, {100, 100}};
+  EXPECT_DOUBLE_EQ(coverage_fraction(region, {}, 50, rng), 0.0);
+  // One watcher in the middle with a huge radius covers everything.
+  EXPECT_DOUBLE_EQ(coverage_fraction(region, {{50, 50}}, 200, rng), 1.0);
+}
+
+TEST(Coverage, PartialIsBetweenBounds) {
+  Rng rng(7);
+  const Rect region{{0, 0}, {100, 100}};
+  const double f = coverage_fraction(region, {{50, 50}}, 30, rng, 5000);
+  // pi*30^2 / 100^2 ~ 0.283.
+  EXPECT_NEAR(f, 0.283, 0.03);
+}
+
+class AwakeCoverageTest : public test::PaperScenario {};
+
+TEST_F(AwakeCoverageTest, AwakeSensorsKeepCellCoverageInRefer) {
+  // The paper's premise for the awake/sleep scheme (SIII-B4): putting
+  // non-candidate sensors to sleep must not lose sensing coverage of the
+  // cell region, because active + wait nodes blanket it.
+  add_quincunx_actuators();
+  add_static_sensors(200);
+  ASSERT_TRUE(build_refer(core::ReferConfig{.run_maintenance = false}));
+  const auto& topo = system->topology();
+  std::vector<Point> awake;
+  for (sim::NodeId s : sensors) {
+    const auto role = topo.role(s);
+    if (role == core::Role::kActive || role == core::Role::kWait) {
+      awake.push_back(world.position(s));
+    }
+  }
+  Rng rng(13);
+  // The cell region is the inner square spanned by the actuators.
+  const Rect cells{{125, 125}, {375, 375}};
+  const double f = coverage_fraction(cells, awake, 60, rng, 4000);
+  EXPECT_GT(f, 0.95) << "awake subset must keep sensing coverage";
+}
+
+}  // namespace
+}  // namespace refer::sensing

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Full reproduction pipeline: build, test, regenerate every figure at
+# paper-closer scale (--full: 5 seeds, 200 s windows), export CSVs and
+# render SVG plots.  Expect ~30-60 min of wall clock.
+#
+#   tools/run_full_reproduction.sh [outdir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+OUT="${1:-reproduction_out}"
+mkdir -p "$OUT"
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure | tee "$OUT/tests.txt"
+
+for b in build/bench/fig*; do
+  name=$(basename "$b")
+  echo "== $name"
+  "$b" --full --csv "$OUT/$name" | tee "$OUT/$name.txt"
+done
+for b in ablation_failover ablation_dk ablation_topology ablation_lifetime \
+         ablation_sparse ablation_mac micro_routing_bench; do
+  echo "== $b"
+  "build/bench/$b" | tee "$OUT/$b.txt"
+done
+
+if command -v python3 >/dev/null; then
+  python3 tools/plot_figures.py "$OUT"/*.csv || true
+fi
+echo "artifacts in $OUT/"
