@@ -19,6 +19,7 @@
 #include "kautz/routing.hpp"
 #include "kautz/verifier.hpp"
 #include "refer/system.hpp"
+#include "registry.hpp"
 
 namespace {
 
@@ -82,9 +83,7 @@ void simulate_dk(int d, int k, int n_sensors) {
               energy.communication_total());
 }
 
-}  // namespace
-
-int main() {
+int run_ablation_dk(refer::bench::Context&) {
   using namespace refer;
   using namespace refer::kautz;
   std::printf("Ablation: K(d, k) degree/diameter trade-off (paper SIII-A, SV)\n");
@@ -129,3 +128,9 @@ int main() {
   simulate_dk(2, 5, 400);
   return 0;
 }
+
+}  // namespace
+
+REFER_REGISTER_BENCH("ablation_dk",
+                     "Ablation: K(d,k) degree/diameter trade-off sweep",
+                     run_ablation_dk);

@@ -6,11 +6,13 @@
 // only difference is what a relay does when its shortest successor is
 // dead: derive the alternative from the IDs (free), or flood a route
 // request and follow the reply (energy + delay per fail-over).
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 
 #include "common/stats.hpp"
 #include "refer/system.hpp"
+#include "registry.hpp"
 
 using namespace refer;
 
@@ -91,9 +93,7 @@ Result run(core::FailoverMode mode, int faulty, std::uint64_t seed) {
   return result;
 }
 
-}  // namespace
-
-int main() {
+int run_ablation_failover(bench::Context& ctx) {
   std::printf(
       "Fail-over ablation: Theorem 3.8 (ID-only) vs route generation\n"
       "(BAKE/DFTR-style flood per fail-over), same REFER overlay\n\n");
@@ -103,7 +103,7 @@ int main() {
     for (const auto mode : {core::FailoverMode::kTheorem38,
                             core::FailoverMode::kRouteGeneration}) {
       Result sum;
-      const int reps = 3;
+      const int reps = std::max(1, ctx.opt.reps);
       for (int i = 0; i < reps; ++i) {
         const Result r = run(mode, faulty, 1 + static_cast<std::uint64_t>(i));
         sum.delivery += r.delivery / reps;
@@ -126,3 +126,10 @@ int main() {
       "and delay gaps are the paper's SIII-C claim at network level.\n");
   return 0;
 }
+
+}  // namespace
+
+REFER_REGISTER_BENCH(
+    "ablation_failover",
+    "Ablation: Theorem 3.8 ID-only fail-over vs route generation",
+    run_ablation_failover);

@@ -16,6 +16,7 @@
 #include "baselines/datree.hpp"
 #include "baselines/ddear.hpp"
 #include "refer/system.hpp"
+#include "registry.hpp"
 
 using namespace refer;
 
@@ -110,9 +111,7 @@ void report(const char* name, const LifetimeResult& r, double horizon) {
               r.sent ? 100.0 * r.delivered / r.sent : 0.0);
 }
 
-}  // namespace
-
-int main() {
+int run_ablation_lifetime(bench::Context&) {
   const double battery_j = 1500;  // ~750 transmissions per sensor
   const double horizon_s = 300;
   std::printf(
@@ -181,3 +180,9 @@ int main() {
       "threshold), so the first death comes later and delivery holds.\n");
   return 0;
 }
+
+}  // namespace
+
+REFER_REGISTER_BENCH("ablation_lifetime",
+                     "Ablation: network lifetime under finite batteries",
+                     run_ablation_lifetime);

@@ -12,27 +12,27 @@
 //     systems deliver everything.  This is exactly the role 802.11
 //     contention plays in the paper's ns-2 evaluation, and why a
 //     contention-aware MAC is part of this reproduction's substrate.
-#include "bench_common.hpp"
+#include "registry.hpp"
 
-int main(int argc, char** argv) {
-  using namespace refer;
-  using namespace refer::bench;
-  const BenchOptions opt = parse_options(argc, argv);
+namespace refer::bench {
+namespace {
+
+int run_ablation_mac(Context& ctx) {
   print_header("Ablation", "MAC model sensitivity (simulator validity)");
 
   for (const bool csma : {true, false}) {
-    harness::Scenario base = opt.base;
+    harness::Scenario base = ctx.opt.base;
     base.csma = csma;
     std::printf("\n--- %s ---\n",
                 csma ? "CSMA shared medium (evaluated model)"
                      : "null MAC (infinite spatial reuse)");
-    const auto points = harness::sweep(
-        base, {0.5, 2.5},
+    const auto points = run_sweep(
+        ctx, base, {0.5, 2.5},
         [](harness::Scenario& sc, double avg_speed) {
           sc.mobile = true;
           sc.max_speed_mps = 2 * avg_speed;
         },
-        opt.reps);
+        csma ? "avg speed (m/s) [csma]" : "avg speed (m/s) [null-mac]");
     harness::print_series_table(
         "Throughput vs. mobility", "avg speed (m/s)",
         "QoS-guaranteed throughput (kbit/s)", points,
@@ -46,3 +46,11 @@ int main(int argc, char** argv) {
   }
   return 0;
 }
+
+}  // namespace
+
+REFER_REGISTER_BENCH("ablation_mac",
+                     "Ablation: MAC model sensitivity (simulator validity)",
+                     run_ablation_mac);
+
+}  // namespace refer::bench

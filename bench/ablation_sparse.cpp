@@ -5,29 +5,41 @@
 // the harness metrics.  REFER's embedding degrades gracefully: TTL=2
 // path queries start failing, directed fallbacks and degraded
 // assignments take over, and relay detours carry the stretched arcs.
-#include "bench_common.hpp"
+#include "registry.hpp"
 
-int main(int argc, char** argv) {
-  using namespace refer;
-  using namespace refer::bench;
-  const BenchOptions opt = parse_options(argc, argv);
+namespace refer::bench {
+namespace {
+
+int run_ablation_sparse(Context& ctx) {
   print_header("Ablation", "sparse deployments (paper SV future work)");
 
-  harness::Scenario base = opt.base;
+  harness::Scenario base = ctx.opt.base;
   base.sensor_spread_m = 260;  // spread sensors thinner
   const std::vector<double> sizes{60, 90, 120, 160, 200};
-  const auto points = harness::sweep(
-      base, sizes,
+  const auto points = run_sweep(
+      ctx, base, sizes,
       [](harness::Scenario& sc, double n) {
         sc.n_sensors = static_cast<int>(n);
       },
-      opt.reps);
-  harness::print_series_table(
-      "Delivery ratio vs. density", "# sensors", "delivery ratio", points,
-      [](const harness::AggregateMetrics& a) { return a.delivery_ratio; });
-  harness::print_series_table(
-      "Delay vs. density", "# sensors",
-      "avg delay of QoS-guaranteed data (ms)", points,
-      [](const harness::AggregateMetrics& a) { return a.avg_delay_ms; });
+      "# sensors");
+  emit_series(ctx, "Delivery ratio vs. density", "# sensors",
+              "delivery ratio", "sparse_delivery", points,
+              [](const harness::AggregateMetrics& a) {
+                return a.delivery_ratio;
+              });
+  emit_series(ctx, "Delay vs. density", "# sensors",
+              "avg delay of QoS-guaranteed data (ms)", "sparse_delay",
+              points,
+              [](const harness::AggregateMetrics& a) {
+                return a.avg_delay_ms;
+              });
   return 0;
 }
+
+}  // namespace
+
+REFER_REGISTER_BENCH("ablation_sparse",
+                     "Ablation: sparse deployments (paper SV future work)",
+                     run_ablation_sparse);
+
+}  // namespace refer::bench

@@ -7,15 +7,17 @@
 // (only head paths age), and REFER stays flat because maintenance keeps
 // replacing drifting Kautz nodes.  Kautz-overlay starts degraded (long
 // random arcs break immediately).
-#include "bench_common.hpp"
+#include <algorithm>
 
-int main(int argc, char** argv) {
-  using namespace refer;
-  using namespace refer::bench;
-  BenchOptions opt = parse_options(argc, argv);
+#include "registry.hpp"
+
+namespace refer::bench {
+namespace {
+
+int run_ablation_timeline(Context& ctx) {
   print_header("Ablation", "within-run throughput decay under mobility");
 
-  harness::Scenario sc = opt.base;
+  harness::Scenario sc = ctx.opt.base;
   sc.mobile = true;
   sc.max_speed_mps = 4.0;
   sc.measure_s = std::max(sc.measure_s, 120.0);
@@ -24,7 +26,7 @@ int main(int argc, char** argv) {
 
   std::vector<std::vector<double>> timelines;
   for (harness::SystemKind kind : harness::kAllSystems) {
-    const auto m = harness::run_once(kind, sc);
+    const auto m = ctx.executor.run_once(kind, sc);
     timelines.push_back(m.build_ok ? m.qos_timeline_kbps
                                    : std::vector<double>{});
   }
@@ -50,3 +52,11 @@ int main(int argc, char** argv) {
       "behind Figures 4 and 8.\n");
   return 0;
 }
+
+}  // namespace
+
+REFER_REGISTER_BENCH("ablation_timeline",
+                     "Ablation: within-run throughput decay under mobility",
+                     run_ablation_timeline);
+
+}  // namespace refer::bench

@@ -8,8 +8,11 @@
 #include <cstdio>
 
 #include "kautz/alternatives.hpp"
+#include "registry.hpp"
 
-int main() {
+namespace {
+
+int run_ablation_topology(refer::bench::Context&) {
   using namespace refer::kautz;
   std::printf(
       "Overlay topology trade-off (paper SIII-A / Proposition 3.1)\n"
@@ -32,3 +35,10 @@ int main() {
       "delivery path -- the trade-off REFER builds on.\n");
   return 0;
 }
+
+}  // namespace
+
+REFER_REGISTER_BENCH(
+    "ablation_topology",
+    "Ablation: Kautz vs de Bruijn vs hypercube (Proposition 3.1)",
+    run_ablation_topology);

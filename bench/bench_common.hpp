@@ -1,55 +1,97 @@
-// Shared plumbing for the figure-reproduction binaries.
+// Shared plumbing for the figure/ablation reproductions behind the
+// unified `referbench` CLI (tools/referbench_main.cpp).
 //
-// Every bench prints the same series the corresponding paper figure
-// plots: one row per x value, one column per system, "mean +- 95% CI"
-// over repeated seeds.  Absolute values are not comparable to the paper
-// (our substrate is a scaled-down simulator; see DESIGN.md) -- the
-// reproduction target is the *shape*: ordering, trends, crossovers.
+// Every sweep bench prints the same series the corresponding paper
+// figure plots: one row per x value, one column per system,
+// "mean +- 95% CI" over repeated seeds.  Absolute values are not
+// comparable to the paper (our substrate is a scaled-down simulator;
+// see DESIGN.md) -- the reproduction target is the *shape*: ordering,
+// trends, crossovers.
 //
 // Flags (all optional):
 //   --reps N        seeds per point                  (default 3)
 //   --measure S     measurement window, seconds      (default 60)
 //   --pps P         packets per second per source    (default 10)
+//   --bytes B       packet size in bytes             (default 2500)
+//   --seed S        base scenario seed               (default 1)
+//   --jobs N        parallel (system, x, seed) jobs; 0 = all cores
 //   --csv PREFIX    also write PREFIX_<metric>.csv for plotting
+//   --json PATH     structured results document (runner::ResultsWriter)
 //   --quick         reps=1, measure=45 (CI smoke runs)
-//   --full          reps=5, measure=200, pps=16 (closer to paper scale)
+//   --full          reps=5, measure=200 (closer to paper scale)
+//
+// Unknown flags and flags missing their value are rejected with exit
+// code 2 -- a typo must never silently run a different experiment.
 #pragma once
 
 #include <cstdio>
-#include <cstring>
+#include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "harness/experiment.hpp"
+#include "runner/parallel_executor.hpp"
+#include "runner/results_writer.hpp"
 
 namespace refer::bench {
 
 struct BenchOptions {
   int reps = 3;
+  int jobs = 1;            ///< worker threads; 0 = one per hardware thread
   std::string csv_prefix;  ///< when set, each table is also written as CSV
+  std::string json_path;   ///< when set, a results JSON is written per bench
   harness::Scenario base;
 };
 
+[[noreturn]] inline void usage_error(const std::string& message) {
+  std::fprintf(stderr, "referbench: %s (try 'referbench --help')\n",
+               message.c_str());
+  std::exit(2);
+}
+
+/// Strict flag parser: exits with code 2 on an unknown flag, a flag
+/// missing its value, or a non-numeric value for a numeric flag.
 inline BenchOptions parse_options(int argc, char** argv) {
   BenchOptions opt;
   opt.base.warmup_s = 10;
   opt.base.measure_s = 60;
   opt.base.packets_per_second = 10;
   opt.base.seed = 1;
+  auto string_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      usage_error(std::string(argv[i]) + " requires a value");
+    }
+    return argv[++i];
+  };
+  auto numeric_value = [&](int& i) -> double {
+    const std::string flag = argv[i];
+    const char* raw = string_value(i);
+    char* end = nullptr;
+    const double v = std::strtod(raw, &end);
+    if (end == raw || *end != '\0') {
+      usage_error(flag + ": not a number: '" + raw + "'");
+    }
+    return v;
+  };
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    auto next_val = [&]() -> double {
-      return (i + 1 < argc) ? std::atof(argv[++i]) : 0;
-    };
     if (arg == "--reps") {
-      opt.reps = static_cast<int>(next_val());
+      opt.reps = static_cast<int>(numeric_value(i));
     } else if (arg == "--measure") {
-      opt.base.measure_s = next_val();
+      opt.base.measure_s = numeric_value(i);
     } else if (arg == "--pps") {
-      opt.base.packets_per_second = next_val();
+      opt.base.packets_per_second = numeric_value(i);
     } else if (arg == "--bytes") {
-      opt.base.packet_bytes = static_cast<std::size_t>(next_val());
+      opt.base.packet_bytes = static_cast<std::size_t>(numeric_value(i));
+    } else if (arg == "--seed") {
+      opt.base.seed = static_cast<std::uint64_t>(numeric_value(i));
+    } else if (arg == "--jobs") {
+      opt.jobs = static_cast<int>(numeric_value(i));
     } else if (arg == "--csv") {
-      opt.csv_prefix = (i + 1 < argc) ? argv[++i] : "series";
+      opt.csv_prefix = string_value(i);
+    } else if (arg == "--json") {
+      opt.json_path = string_value(i);
     } else if (arg == "--quick") {
       opt.reps = 1;
       opt.base.measure_s = 45;
@@ -57,22 +99,54 @@ inline BenchOptions parse_options(int argc, char** argv) {
       opt.reps = 5;
       opt.base.measure_s = 200;
     } else {
-      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      usage_error("unknown flag: " + arg);
     }
   }
   return opt;
 }
 
+/// Per-bench run state handed to every registered bench function: the
+/// parsed options, the parallel executor the bench should route its
+/// simulations through, and the results document being accumulated.
+struct Context {
+  Context(BenchOptions options, std::string bench_name)
+      : opt(std::move(options)),
+        name(std::move(bench_name)),
+        executor(opt.jobs) {
+    results.set_tool("referbench");
+    results.set_benchmark(name);
+    results.set_jobs(executor.jobs());
+    results.set_repetitions(opt.reps);
+    results.set_scenario(opt.base);
+  }
+
+  BenchOptions opt;
+  std::string name;
+  runner::ParallelExecutor executor;
+  runner::ResultsWriter results;
+};
+
+/// Runs a sweep through the context's executor and records the
+/// aggregated series (all metrics) into the results document.
+inline std::vector<harness::SweepPoint> run_sweep(
+    Context& ctx, const harness::Scenario& base, const std::vector<double>& xs,
+    const std::function<void(harness::Scenario&, double)>& configure,
+    const std::string& x_label) {
+  auto points = ctx.executor.sweep(base, xs, configure, ctx.opt.reps);
+  ctx.results.add_series(x_label, points);
+  return points;
+}
+
 /// Prints the table and, with --csv, writes it as PREFIX_<slug>.csv.
-inline void emit_series(const BenchOptions& opt, const std::string& title,
+inline void emit_series(const Context& ctx, const std::string& title,
                         const std::string& x_label,
                         const std::string& y_label, const std::string& slug,
                         const std::vector<harness::SweepPoint>& points,
                         const std::function<Summary(
                             const harness::AggregateMetrics&)>& select) {
   harness::print_series_table(title, x_label, y_label, points, select);
-  if (!opt.csv_prefix.empty()) {
-    const std::string path = opt.csv_prefix + "_" + slug + ".csv";
+  if (!ctx.opt.csv_prefix.empty()) {
+    const std::string path = ctx.opt.csv_prefix + "_" + slug + ".csv";
     if (harness::write_series_csv(path, x_label, points, select)) {
       std::printf("(csv written to %s)\n", path.c_str());
     }

@@ -4,27 +4,34 @@
 // Expected shape: REFER nearly flat and highest; DaTree and D-DEAR
 // decline moderately (DaTree below D-DEAR at high mobility);
 // Kautz-overlay declines sharply and ends lowest.
-#include "bench_common.hpp"
+#include "registry.hpp"
 
-int main(int argc, char** argv) {
-  using namespace refer;
-  using namespace refer::bench;
-  const BenchOptions opt = parse_options(argc, argv);
+namespace refer::bench {
+namespace {
+
+int run_fig04(Context& ctx) {
   print_header("Figure 4", "throughput vs. node mobility");
 
   const std::vector<double> avg_speeds{0.5, 1.0, 1.5, 2.0, 2.5};
-  const auto points = harness::sweep(
-      opt.base, avg_speeds,
+  const auto points = run_sweep(
+      ctx, ctx.opt.base, avg_speeds,
       [](harness::Scenario& sc, double avg_speed) {
         sc.mobile = true;
         sc.min_speed_mps = 0;
         sc.max_speed_mps = 2 * avg_speed;
       },
-      opt.reps);
-  emit_series(opt, "Throughput vs. mobility", "avg speed (m/s)",
+      "avg speed (m/s)");
+  emit_series(ctx, "Throughput vs. mobility", "avg speed (m/s)",
               "QoS-guaranteed throughput (kbit/s)", "fig04", points,
               [](const harness::AggregateMetrics& a) {
                 return a.qos_throughput_kbps;
               });
   return 0;
 }
+
+}  // namespace
+
+REFER_REGISTER_BENCH("fig04", "Figure 4: QoS throughput vs. node mobility",
+                     run_fig04);
+
+}  // namespace refer::bench

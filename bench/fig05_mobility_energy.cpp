@@ -5,27 +5,35 @@
 // DaTree and Kautz-overlay rise fastest, with the crossover the paper
 // highlights: Kautz-overlay < DaTree at 0.5 m/s but > DaTree when
 // mobility is high.
-#include "bench_common.hpp"
+#include "registry.hpp"
 
-int main(int argc, char** argv) {
-  using namespace refer;
-  using namespace refer::bench;
-  const BenchOptions opt = parse_options(argc, argv);
+namespace refer::bench {
+namespace {
+
+int run_fig05(Context& ctx) {
   print_header("Figure 5", "communication energy vs. node mobility");
 
   const std::vector<double> avg_speeds{0.5, 1.0, 1.5, 2.0, 2.5};
-  const auto points = harness::sweep(
-      opt.base, avg_speeds,
+  const auto points = run_sweep(
+      ctx, ctx.opt.base, avg_speeds,
       [](harness::Scenario& sc, double avg_speed) {
         sc.mobile = true;
         sc.min_speed_mps = 0;
         sc.max_speed_mps = 2 * avg_speed;
       },
-      opt.reps);
-  emit_series(opt, "Communication energy vs. mobility", "avg speed (m/s)",
+      "avg speed (m/s)");
+  emit_series(ctx, "Communication energy vs. mobility", "avg speed (m/s)",
               "energy consumed in communication (J)", "fig05", points,
               [](const harness::AggregateMetrics& a) {
                 return a.comm_energy_j;
               });
   return 0;
 }
+
+}  // namespace
+
+REFER_REGISTER_BENCH("fig05",
+                     "Figure 5: communication energy vs. node mobility",
+                     run_fig05);
+
+}  // namespace refer::bench

@@ -5,25 +5,32 @@
 // fail-over); Kautz-overlay high but flat-ish (fault-tolerant routing
 // over long multi-hop arcs); DaTree below Kautz-overlay for few faulty
 // nodes, above it beyond ~6; D-DEAR between REFER and DaTree.
-#include "bench_common.hpp"
+#include "registry.hpp"
 
-int main(int argc, char** argv) {
-  using namespace refer;
-  using namespace refer::bench;
-  const BenchOptions opt = parse_options(argc, argv);
+namespace refer::bench {
+namespace {
+
+int run_fig06(Context& ctx) {
   print_header("Figure 6", "delay vs. number of faulty nodes");
 
   const std::vector<double> faulty{2, 4, 6, 8, 10};
-  const auto points = harness::sweep(
-      opt.base, faulty,
+  const auto points = run_sweep(
+      ctx, ctx.opt.base, faulty,
       [](harness::Scenario& sc, double n) {
         sc.faulty_nodes = static_cast<int>(n);
       },
-      opt.reps);
-  emit_series(opt, "Delay vs. faulty nodes", "# faulty nodes",
+      "# faulty nodes");
+  emit_series(ctx, "Delay vs. faulty nodes", "# faulty nodes",
               "avg delay of QoS-guaranteed data (ms)", "fig06", points,
               [](const harness::AggregateMetrics& a) {
                 return a.avg_delay_ms;
               });
   return 0;
 }
+
+}  // namespace
+
+REFER_REGISTER_BENCH("fig06", "Figure 6: delay vs. number of faulty nodes",
+                     run_fig06);
+
+}  // namespace refer::bench

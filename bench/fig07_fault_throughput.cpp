@@ -4,25 +4,33 @@
 // least; D-DEAR above DaTree (faults only break head paths, not every
 // sensor's path); Kautz-overlay lowest in absolute terms (long paths eat
 // the QoS budget).
-#include "bench_common.hpp"
+#include "registry.hpp"
 
-int main(int argc, char** argv) {
-  using namespace refer;
-  using namespace refer::bench;
-  const BenchOptions opt = parse_options(argc, argv);
+namespace refer::bench {
+namespace {
+
+int run_fig07(Context& ctx) {
   print_header("Figure 7", "throughput vs. number of faulty nodes");
 
   const std::vector<double> faulty{2, 4, 6, 8, 10};
-  const auto points = harness::sweep(
-      opt.base, faulty,
+  const auto points = run_sweep(
+      ctx, ctx.opt.base, faulty,
       [](harness::Scenario& sc, double n) {
         sc.faulty_nodes = static_cast<int>(n);
       },
-      opt.reps);
-  emit_series(opt, "Throughput vs. faulty nodes", "# faulty nodes",
+      "# faulty nodes");
+  emit_series(ctx, "Throughput vs. faulty nodes", "# faulty nodes",
               "QoS-guaranteed throughput (kbit/s)", "fig07", points,
               [](const harness::AggregateMetrics& a) {
                 return a.qos_throughput_kbps;
               });
   return 0;
 }
+
+}  // namespace
+
+REFER_REGISTER_BENCH("fig07",
+                     "Figure 7: QoS throughput vs. number of faulty nodes",
+                     run_fig07);
+
+}  // namespace refer::bench

@@ -8,28 +8,34 @@
 // REFER (many sensors sit one hop from an actuator).
 #include <cmath>
 
-#include "bench_common.hpp"
+#include "registry.hpp"
 
-int main(int argc, char** argv) {
-  using namespace refer;
-  using namespace refer::bench;
-  const BenchOptions opt = parse_options(argc, argv);
+namespace refer::bench {
+namespace {
+
+int run_fig08(Context& ctx) {
   print_header("Figure 8", "delay vs. network size");
 
   const std::vector<double> sizes{100, 200, 300, 400};
-  const auto points = harness::sweep(
-      opt.base, sizes,
+  const auto points = run_sweep(
+      ctx, ctx.opt.base, sizes,
       [](harness::Scenario& sc, double n) {
         sc.n_sensors = static_cast<int>(n);
         // Constant density: a larger network occupies a wider deployment
         // (the paper's "path lengths increase as network size grows").
         sc.sensor_spread_m = 220.0 * std::sqrt(n / 200.0);
       },
-      opt.reps);
-  emit_series(opt, "Delay vs. network size", "# sensors",
+      "# sensors");
+  emit_series(ctx, "Delay vs. network size", "# sensors",
               "avg delay of QoS-guaranteed data (ms)", "fig08", points,
               [](const harness::AggregateMetrics& a) {
                 return a.avg_delay_ms;
               });
   return 0;
 }
+
+}  // namespace
+
+REFER_REGISTER_BENCH("fig08", "Figure 8: delay vs. network size", run_fig08);
+
+}  // namespace refer::bench

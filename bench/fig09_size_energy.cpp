@@ -5,28 +5,36 @@
 // retransmits from the source), above both D-DEAR and Kautz-overlay.
 #include <cmath>
 
-#include "bench_common.hpp"
+#include "registry.hpp"
 
-int main(int argc, char** argv) {
-  using namespace refer;
-  using namespace refer::bench;
-  const BenchOptions opt = parse_options(argc, argv);
+namespace refer::bench {
+namespace {
+
+int run_fig09(Context& ctx) {
   print_header("Figure 9", "communication energy vs. network size");
 
   const std::vector<double> sizes{100, 200, 300, 400};
-  const auto points = harness::sweep(
-      opt.base, sizes,
+  const auto points = run_sweep(
+      ctx, ctx.opt.base, sizes,
       [](harness::Scenario& sc, double n) {
         sc.n_sensors = static_cast<int>(n);
         // Constant density: a larger network occupies a wider deployment
         // (the paper's "path lengths increase as network size grows").
         sc.sensor_spread_m = 220.0 * std::sqrt(n / 200.0);
       },
-      opt.reps);
-  emit_series(opt, "Communication energy vs. network size", "# sensors",
+      "# sensors");
+  emit_series(ctx, "Communication energy vs. network size", "# sensors",
               "energy consumed in communication (J)", "fig09", points,
               [](const harness::AggregateMetrics& a) {
                 return a.comm_energy_j;
               });
   return 0;
 }
+
+}  // namespace
+
+REFER_REGISTER_BENCH("fig09",
+                     "Figure 9: communication energy vs. network size",
+                     run_fig09);
+
+}  // namespace refer::bench

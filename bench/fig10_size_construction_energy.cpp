@@ -5,28 +5,30 @@
 // overlay arc); REFER next (actuator exchange + TTL=2 path queries);
 // D-DEAR below REFER (2-hop hellos + one flood per head); DaTree the
 // cheapest (one beacon flood per actuator).
+#include <algorithm>
 #include <cmath>
 
-#include "bench_common.hpp"
+#include "registry.hpp"
 
-int main(int argc, char** argv) {
-  using namespace refer;
-  using namespace refer::bench;
-  BenchOptions opt = parse_options(argc, argv);
-  opt.base.measure_s = std::min(opt.base.measure_s, 30.0);  // construction only
+namespace refer::bench {
+namespace {
+
+int run_fig10(Context& ctx) {
+  harness::Scenario base = ctx.opt.base;
+  base.measure_s = std::min(base.measure_s, 30.0);  // construction only
   print_header("Figure 10", "construction energy vs. network size");
 
   const std::vector<double> sizes{100, 200, 300, 400};
-  const auto points = harness::sweep(
-      opt.base, sizes,
+  const auto points = run_sweep(
+      ctx, base, sizes,
       [](harness::Scenario& sc, double n) {
         sc.n_sensors = static_cast<int>(n);
         // Constant density: a larger network occupies a wider deployment
         // (the paper's "path lengths increase as network size grows").
         sc.sensor_spread_m = 220.0 * std::sqrt(n / 200.0);
       },
-      opt.reps);
-  emit_series(opt, "Topology-construction energy vs. network size",
+      "# sensors");
+  emit_series(ctx, "Topology-construction energy vs. network size",
               "# sensors", "energy consumed in topology construction (J)",
               "fig10", points,
               [](const harness::AggregateMetrics& a) {
@@ -34,3 +36,11 @@ int main(int argc, char** argv) {
               });
   return 0;
 }
+
+}  // namespace
+
+REFER_REGISTER_BENCH("fig10",
+                     "Figure 10: construction energy vs. network size",
+                     run_fig10);
+
+}  // namespace refer::bench

@@ -3,25 +3,25 @@
 // the total and REFER has the lowest total.
 #include <cmath>
 
-#include "bench_common.hpp"
+#include "registry.hpp"
 
-int main(int argc, char** argv) {
-  using namespace refer;
-  using namespace refer::bench;
-  const BenchOptions opt = parse_options(argc, argv);
+namespace refer::bench {
+namespace {
+
+int run_fig11(Context& ctx) {
   print_header("Figure 11", "total energy vs. network size");
 
   const std::vector<double> sizes{100, 200, 300, 400};
-  const auto points = harness::sweep(
-      opt.base, sizes,
+  const auto points = run_sweep(
+      ctx, ctx.opt.base, sizes,
       [](harness::Scenario& sc, double n) {
         sc.n_sensors = static_cast<int>(n);
         // Constant density: a larger network occupies a wider deployment
         // (the paper's "path lengths increase as network size grows").
         sc.sensor_spread_m = 220.0 * std::sqrt(n / 200.0);
       },
-      opt.reps);
-  emit_series(opt, "Total energy vs. network size", "# sensors",
+      "# sensors");
+  emit_series(ctx, "Total energy vs. network size", "# sensors",
               "total energy: communication + construction (J)", "fig11",
               points,
               [](const harness::AggregateMetrics& a) {
@@ -41,3 +41,10 @@ int main(int argc, char** argv) {
       });
   return 0;
 }
+
+}  // namespace
+
+REFER_REGISTER_BENCH("fig11", "Figure 11: total energy vs. network size",
+                     run_fig11);
+
+}  // namespace refer::bench

@@ -1,0 +1,58 @@
+// The figure/ablation registry behind the `referbench` CLI.
+//
+// Each bench translation unit registers itself with
+// REFER_REGISTER_BENCH("fig04", "...", run_fig04); the CLI looks
+// benches up by name, so adding a reproduction is one registration --
+// no new binary, no duplicated flag parsing.
+#pragma once
+
+#include <algorithm>
+#include <string_view>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace refer::bench {
+
+using BenchFn = int (*)(Context&);
+
+struct BenchInfo {
+  const char* name;
+  const char* description;
+  BenchFn fn;
+};
+
+inline std::vector<BenchInfo>& registry() {
+  static std::vector<BenchInfo> benches;
+  return benches;
+}
+
+inline bool register_bench(const char* name, const char* description,
+                           BenchFn fn) {
+  registry().push_back({name, description, fn});
+  return true;
+}
+
+/// Registered benches sorted by name (registration order is link order,
+/// which is not meaningful to users).
+inline std::vector<BenchInfo> sorted_registry() {
+  std::vector<BenchInfo> benches = registry();
+  std::sort(benches.begin(), benches.end(),
+            [](const BenchInfo& a, const BenchInfo& b) {
+              return std::string_view(a.name) < std::string_view(b.name);
+            });
+  return benches;
+}
+
+inline const BenchInfo* find_bench(std::string_view name) {
+  for (const BenchInfo& info : registry()) {
+    if (name == info.name) return &info;
+  }
+  return nullptr;
+}
+
+}  // namespace refer::bench
+
+#define REFER_REGISTER_BENCH(name, description, fn)            \
+  [[maybe_unused]] static const bool refer_bench_reg_##fn =    \
+      ::refer::bench::register_bench(name, description, fn)

@@ -1,6 +1,7 @@
 #include "common/logging.hpp"
 
 #include <atomic>
+#include <mutex>
 
 namespace refer {
 
@@ -25,8 +26,18 @@ LogLevel log_level() noexcept { return g_level.load(); }
 
 namespace detail {
 void log_line(LogLevel level, std::string_view msg) {
-  std::fprintf(stderr, "[%s] %.*s\n", level_name(level),
-               static_cast<int>(msg.size()), msg.data());
+  // Parallel sweep jobs log concurrently: build the whole line first and
+  // emit it as a single mutex-guarded fwrite so lines never interleave.
+  std::string line;
+  line.reserve(msg.size() + 10);
+  line += '[';
+  line += level_name(level);
+  line += "] ";
+  line += msg;
+  line += '\n';
+  static std::mutex mu;
+  const std::lock_guard<std::mutex> lock(mu);
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 }  // namespace detail
 

@@ -2,8 +2,12 @@
 
 #include "common/stats.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <future>
+#include <iterator>
 #include <memory>
 
 #include "baselines/datree.hpp"
@@ -12,6 +16,7 @@
 #include "common/logging.hpp"
 #include "net/flooding.hpp"
 #include "refer/system.hpp"
+#include "runner/thread_pool.hpp"
 #include "sim/channel.hpp"
 #include "sim/trace.hpp"
 
@@ -338,18 +343,58 @@ RunMetrics run_once(SystemKind kind, const Scenario& scenario) {
   return driver.run();
 }
 
-AggregateMetrics run_repeated(SystemKind kind, Scenario scenario,
-                              int repetitions) {
-  AggregateMetrics agg;
-  const std::uint64_t base_seed = scenario.seed;
-  for (int i = 0; i < repetitions; ++i) {
-    scenario.seed = base_seed + static_cast<std::uint64_t>(i) * 7919;
-    const RunMetrics m = run_once(kind, scenario);
+namespace {
+
+/// One decomposed (system, x, seed) job: the scenario it runs with plus
+/// the aggregation group it reports into.
+struct JobSpec {
+  std::size_t group = 0;
+  JobRecord record;
+  Scenario scenario;
+};
+
+/// Executes every spec's run_once — serially in order for jobs <= 1,
+/// otherwise on a fixed-size thread pool.  run_once is deterministic and
+/// touches no global state (src/common/rng.hpp), so the execution order
+/// cannot affect any metric; only wall_ms varies between schedules.
+void execute_jobs(std::vector<JobSpec>& specs, int jobs) {
+  auto run_job = [](JobSpec& spec) {
+    const auto t0 = std::chrono::steady_clock::now();
+    spec.record.metrics = run_once(spec.record.system, spec.scenario);
+    spec.record.wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+  };
+  if (jobs <= 1 || specs.size() <= 1) {
+    for (JobSpec& spec : specs) run_job(spec);
+    return;
+  }
+  runner::ThreadPool pool(runner::resolve_jobs(jobs));
+  std::vector<std::future<void>> futures;
+  futures.reserve(specs.size());
+  for (JobSpec& spec : specs) {
+    futures.push_back(pool.submit([&run_job, &spec] { run_job(spec); }));
+  }
+  for (std::future<void>& f : futures) f.get();
+}
+
+/// Aggregates the executed specs group by group, visiting them in spec
+/// order -- the same Summary::add order as the serial code path, which
+/// keeps floating-point results bit-identical for any job count.
+std::vector<AggregateMetrics> aggregate_jobs(const std::vector<JobSpec>& specs,
+                                             std::size_t n_groups,
+                                             const JobSink& sink) {
+  std::vector<AggregateMetrics> groups(n_groups);
+  for (const JobSpec& spec : specs) {
+    if (sink) sink(spec.record);
+    const RunMetrics& m = spec.record.metrics;
     if (!m.build_ok) {
-      log_warn("%s: build failed for seed %llu", to_string(kind),
-               static_cast<unsigned long long>(scenario.seed));
+      log_warn("%s: build failed for seed %llu", to_string(spec.record.system),
+               static_cast<unsigned long long>(spec.record.seed));
       continue;
     }
+    AggregateMetrics& agg = groups[spec.group];
     agg.qos_throughput_kbps.add(m.qos_throughput_kbps);
     agg.avg_delay_ms.add(m.avg_delay_ms);
     agg.delay_p95_ms.add(m.delay_p95_ms);
@@ -358,22 +403,67 @@ AggregateMetrics run_repeated(SystemKind kind, Scenario scenario,
     agg.construction_energy_j.add(m.construction_energy_j);
     agg.total_energy_j.add(m.total_energy_j);
   }
-  return agg;
+  return groups;
+}
+
+/// Appends the `repetitions` seed jobs of one (x, system) group.
+void append_group(std::vector<JobSpec>& specs, std::size_t group, double x,
+                  SystemKind kind, const Scenario& scenario,
+                  int repetitions) {
+  const std::uint64_t base_seed = scenario.seed;
+  for (int i = 0; i < repetitions; ++i) {
+    JobSpec spec;
+    spec.group = group;
+    spec.record.x = x;
+    spec.record.system = kind;
+    spec.record.rep = i;
+    spec.record.seed = base_seed + static_cast<std::uint64_t>(i) * 7919;
+    spec.scenario = scenario;
+    spec.scenario.seed = spec.record.seed;
+    specs.push_back(std::move(spec));
+  }
+}
+
+}  // namespace
+
+AggregateMetrics run_repeated(SystemKind kind, Scenario scenario,
+                              int repetitions, int jobs,
+                              const JobSink& sink) {
+  std::vector<JobSpec> specs;
+  specs.reserve(static_cast<std::size_t>(std::max(0, repetitions)));
+  append_group(specs, 0, 0.0, kind, scenario, repetitions);
+  execute_jobs(specs, jobs);
+  return aggregate_jobs(specs, 1, sink)[0];
 }
 
 std::vector<SweepPoint> sweep(
     Scenario base, const std::vector<double>& xs,
     const std::function<void(Scenario&, double)>& configure,
-    int repetitions) {
-  std::vector<SweepPoint> points;
-  for (double x : xs) {
-    SweepPoint point;
-    point.x = x;
-    for (SystemKind kind : kAllSystems) {
-      Scenario scenario = base;
-      configure(scenario, x);
-      point.by_system.push_back(run_repeated(kind, scenario, repetitions));
+    int repetitions, int jobs, const JobSink& sink) {
+  constexpr std::size_t kSystems = std::size(kAllSystems);
+  std::vector<JobSpec> specs;
+  specs.reserve(xs.size() * kSystems *
+                static_cast<std::size_t>(std::max(0, repetitions)));
+  for (std::size_t xi = 0; xi < xs.size(); ++xi) {
+    Scenario scenario = base;
+    configure(scenario, xs[xi]);
+    for (std::size_t si = 0; si < kSystems; ++si) {
+      append_group(specs, xi * kSystems + si, xs[xi], kAllSystems[si],
+                   scenario, repetitions);
     }
+  }
+  execute_jobs(specs, jobs);
+  const std::vector<AggregateMetrics> groups =
+      aggregate_jobs(specs, xs.size() * kSystems, sink);
+  std::vector<SweepPoint> points;
+  points.reserve(xs.size());
+  for (std::size_t xi = 0; xi < xs.size(); ++xi) {
+    SweepPoint point;
+    point.x = xs[xi];
+    point.by_system.assign(groups.begin() + static_cast<std::ptrdiff_t>(
+                                                xi * kSystems),
+                           groups.begin() + static_cast<std::ptrdiff_t>(
+                                                (xi + 1) * kSystems));
     points.push_back(std::move(point));
   }
   return points;

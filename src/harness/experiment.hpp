@@ -36,10 +36,32 @@ struct AggregateMetrics {
   Summary total_energy_j;
 };
 
+/// One decomposed unit of an experiment: a single run_once call.  The
+/// parallel executor (src/runner) hands these to a results sink in
+/// deterministic order so JSON exports are reproducible run-to-run.
+struct JobRecord {
+  double x = 0;  ///< sweep x value (0 for run_repeated)
+  SystemKind system = SystemKind::kRefer;
+  int rep = 0;            ///< repetition index within the (x, system) group
+  std::uint64_t seed = 0; ///< the scenario seed the job actually ran with
+  double wall_ms = 0;     ///< wall-clock cost of this job
+  RunMetrics metrics;
+};
+
+/// Invoked once per job, in deterministic (x, system, rep) order,
+/// regardless of how many worker threads executed the jobs.
+using JobSink = std::function<void(const JobRecord&)>;
+
 /// Runs `repetitions` seeds (scenario.seed + i) and aggregates.
+///
+/// `jobs` > 1 executes the repetitions on a runner::ThreadPool; results
+/// are aggregated in the same order as the serial path, so the returned
+/// AggregateMetrics is bit-identical for any job count (run_once is
+/// deterministic and uses no global random state).
 [[nodiscard]] AggregateMetrics run_repeated(SystemKind kind,
                                             Scenario scenario,
-                                            int repetitions);
+                                            int repetitions, int jobs = 1,
+                                            const JobSink& sink = {});
 
 /// One point of a figure: x value plus per-system aggregates.
 struct SweepPoint {
@@ -49,10 +71,16 @@ struct SweepPoint {
 
 /// Sweeps a scenario parameter: `configure(scenario, x)` mutates the base
 /// scenario for each x value; every system runs `repetitions` seeds.
+///
+/// `jobs` > 1 decomposes the sweep into independent (system, x, seed)
+/// jobs on a runner::ThreadPool.  Aggregation order matches the serial
+/// path exactly (bit-identical results for any job count).  `configure`
+/// is only called on the submitting thread and must be a pure function
+/// of (scenario, x).
 [[nodiscard]] std::vector<SweepPoint> sweep(
     Scenario base, const std::vector<double>& xs,
     const std::function<void(Scenario&, double)>& configure,
-    int repetitions);
+    int repetitions, int jobs = 1, const JobSink& sink = {});
 
 /// Renders a paper-style series table: one row per x value, one column
 /// per system, cells "mean +- ci".

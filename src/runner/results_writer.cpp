@@ -1,0 +1,186 @@
+#include "runner/results_writer.hpp"
+
+#include <cstdio>
+
+#include "common/stats.hpp"
+#include "runner/json.hpp"
+
+#ifndef REFER_GIT_DESCRIBE
+#define REFER_GIT_DESCRIBE "unknown"
+#endif
+
+namespace refer::runner {
+
+namespace {
+
+void write_summary(JsonWriter& w, const Summary& s) {
+  w.begin_object();
+  w.kv("n", s.count());
+  w.kv("mean", s.mean());
+  w.kv("ci95", s.ci95_half_width());
+  w.kv("min", s.min());
+  w.kv("max", s.max());
+  w.end_object();
+}
+
+void write_aggregate(JsonWriter& w, harness::SystemKind kind,
+                     const harness::AggregateMetrics& agg) {
+  w.begin_object();
+  w.kv("system", harness::to_string(kind));
+  w.key("qos_throughput_kbps");
+  write_summary(w, agg.qos_throughput_kbps);
+  w.key("avg_delay_ms");
+  write_summary(w, agg.avg_delay_ms);
+  w.key("delay_p95_ms");
+  write_summary(w, agg.delay_p95_ms);
+  w.key("delivery_ratio");
+  write_summary(w, agg.delivery_ratio);
+  w.key("comm_energy_j");
+  write_summary(w, agg.comm_energy_j);
+  w.key("construction_energy_j");
+  write_summary(w, agg.construction_energy_j);
+  w.key("total_energy_j");
+  write_summary(w, agg.total_energy_j);
+  w.end_object();
+}
+
+void write_metrics(JsonWriter& w, const harness::RunMetrics& m) {
+  w.begin_object();
+  w.kv("build_ok", m.build_ok);
+  w.kv("packets_sent", m.packets_sent);
+  w.kv("packets_delivered", m.packets_delivered);
+  w.kv("qos_delivered", m.qos_delivered);
+  w.kv("qos_throughput_kbps", m.qos_throughput_kbps);
+  w.kv("avg_delay_ms", m.avg_delay_ms);
+  w.kv("delay_p50_ms", m.delay_p50_ms);
+  w.kv("delay_p95_ms", m.delay_p95_ms);
+  w.kv("delay_p99_ms", m.delay_p99_ms);
+  w.kv("delivery_ratio", m.delivery_ratio);
+  w.kv("comm_energy_j", m.comm_energy_j);
+  w.kv("construction_energy_j", m.construction_energy_j);
+  w.kv("total_energy_j", m.total_energy_j);
+  if (!m.qos_timeline_kbps.empty()) {
+    w.key("qos_timeline_kbps");
+    w.begin_array();
+    for (const double v : m.qos_timeline_kbps) w.value(v);
+    w.end_array();
+  }
+  w.end_object();
+}
+
+void write_scenario(JsonWriter& w, const harness::Scenario& sc) {
+  w.begin_object();
+  w.kv("area_side_m", sc.area_side_m);
+  w.kv("n_actuators", sc.n_actuators);
+  w.kv("n_sensors", sc.n_sensors);
+  w.kv("sensor_spread_m", sc.sensor_spread_m);
+  w.kv("sensor_range_m", sc.sensor_range_m);
+  w.kv("actuator_range_m", sc.actuator_range_m);
+  w.kv("initial_battery_j", sc.initial_battery_j);
+  w.kv("mobile", sc.mobile);
+  w.kv("min_speed_mps", sc.min_speed_mps);
+  w.kv("max_speed_mps", sc.max_speed_mps);
+  w.kv("sources_per_round", sc.sources_per_round);
+  w.kv("round_period_s", sc.round_period_s);
+  w.kv("packets_per_second", sc.packets_per_second);
+  w.kv("packet_bytes", sc.packet_bytes);
+  w.kv("warmup_s", sc.warmup_s);
+  w.kv("measure_s", sc.measure_s);
+  w.kv("qos_deadline_s", sc.qos_deadline_s);
+  w.kv("faulty_nodes", sc.faulty_nodes);
+  w.kv("fault_period_s", sc.fault_period_s);
+  w.kv("seed", sc.seed);
+  w.kv("csma", sc.csma);
+  w.kv("timeline_bucket_s", sc.timeline_bucket_s);
+  w.end_object();
+}
+
+}  // namespace
+
+const char* git_describe() noexcept { return REFER_GIT_DESCRIBE; }
+
+ResultsWriter::ResultsWriter() = default;
+
+void ResultsWriter::add_records(
+    const std::vector<harness::JobRecord>& records) {
+  records_.insert(records_.end(), records.begin(), records.end());
+}
+
+void ResultsWriter::add_series(
+    const std::string& x_label,
+    const std::vector<harness::SweepPoint>& points) {
+  series_.push_back({x_label, points});
+}
+
+std::string ResultsWriter::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("schema_version", kResultsSchemaVersion);
+  w.kv("tool", tool_);
+  w.kv("benchmark", benchmark_);
+  w.kv("title", title_);
+  w.kv("git", git_describe());
+  w.kv("jobs", jobs_);
+  w.kv("repetitions", repetitions_);
+  w.kv("wall_s", wall_s_);
+  if (has_scenario_) {
+    w.key("scenario");
+    write_scenario(w, scenario_);
+  }
+  w.key("systems");
+  w.begin_array();
+  for (const harness::SystemKind kind : harness::kAllSystems) {
+    w.value(harness::to_string(kind));
+  }
+  w.end_array();
+  w.key("jobs_run");
+  w.begin_array();
+  for (const harness::JobRecord& r : records_) {
+    w.begin_object();
+    w.kv("x", r.x);
+    w.kv("system", harness::to_string(r.system));
+    w.kv("rep", r.rep);
+    w.kv("seed", r.seed);
+    w.kv("wall_ms", r.wall_ms);
+    w.key("metrics");
+    write_metrics(w, r.metrics);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("series");
+  w.begin_array();
+  for (const Series& series : series_) {
+    w.begin_object();
+    w.kv("x_label", series.x_label);
+    w.key("points");
+    w.begin_array();
+    for (const harness::SweepPoint& point : series.points) {
+      w.begin_object();
+      w.kv("x", point.x);
+      w.key("by_system");
+      w.begin_array();
+      for (std::size_t i = 0; i < point.by_system.size(); ++i) {
+        write_aggregate(w, harness::kAllSystems[i], point.by_system[i]);
+      }
+      w.end_array();
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+bool ResultsWriter::write(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  const std::string doc = to_json();
+  std::fwrite(doc.data(), 1, doc.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace refer::runner

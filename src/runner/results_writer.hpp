@@ -1,0 +1,86 @@
+// Structured results layer: one versioned JSON document per benchmark
+// run, so BENCH_*.json perf trajectories are first-class instead of
+// scraped ASCII tables.
+//
+// Schema (version 1):
+//   {
+//     "schema_version": 1,
+//     "tool": "referbench",
+//     "benchmark": "fig04",
+//     "title": "...",
+//     "git": "<git describe at configure time>",
+//     "jobs": 4, "repetitions": 3, "wall_s": 12.3,
+//     "scenario": { <every harness::Scenario field> },
+//     "systems": ["REFER", "DaTree", "D-DEAR", "Kautz-overlay"],
+//     "jobs_run": [ {"x":.., "system":"REFER", "rep":0, "seed":1,
+//                    "wall_ms":.., "metrics": { <every RunMetrics
+//                    field, incl. delay_p50/p95/p99_ms> }}, ... ],
+//     "series": [ {"x_label":"...", "points": [ {"x":..,
+//                  "by_system": [ {"system":"REFER",
+//                    "qos_throughput_kbps": {"n":..,"mean":..,
+//                      "ci95":..,"min":..,"max":..}, ... } ] } ] } ]
+//   }
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+
+namespace refer::runner {
+
+inline constexpr int kResultsSchemaVersion = 1;
+
+/// `git describe --always --dirty` captured when the build was
+/// configured ("unknown" outside a git checkout).
+[[nodiscard]] const char* git_describe() noexcept;
+
+class ResultsWriter {
+ public:
+  ResultsWriter();
+
+  void set_tool(std::string tool) { tool_ = std::move(tool); }
+  void set_benchmark(std::string name, std::string title = {}) {
+    benchmark_ = std::move(name);
+    title_ = std::move(title);
+  }
+  void set_jobs(int jobs) { jobs_ = jobs; }
+  void set_repetitions(int repetitions) { repetitions_ = repetitions; }
+  void set_wall_s(double wall_s) { wall_s_ = wall_s; }
+  void set_scenario(const harness::Scenario& scenario) {
+    scenario_ = scenario;
+    has_scenario_ = true;
+  }
+
+  /// Appends per-run_once job records (deterministic order preserved).
+  void add_records(const std::vector<harness::JobRecord>& records);
+
+  /// Appends one aggregated sweep series.
+  void add_series(const std::string& x_label,
+                  const std::vector<harness::SweepPoint>& points);
+
+  /// Renders the full document (always valid JSON, even when empty).
+  [[nodiscard]] std::string to_json() const;
+
+  /// Writes to_json() to `path`; false when the file cannot be opened.
+  bool write(const std::string& path) const;
+
+ private:
+  struct Series {
+    std::string x_label;
+    std::vector<harness::SweepPoint> points;
+  };
+
+  std::string tool_ = "referbench";
+  std::string benchmark_;
+  std::string title_;
+  int jobs_ = 1;
+  int repetitions_ = 0;
+  double wall_s_ = 0;
+  bool has_scenario_ = false;
+  harness::Scenario scenario_;
+  std::vector<harness::JobRecord> records_;
+  std::vector<Series> series_;
+};
+
+}  // namespace refer::runner

@@ -1,0 +1,75 @@
+// Fixed-size worker pool with a futures-based submit().
+//
+// Deliberately work-stealing-free: one shared FIFO queue behind one
+// mutex.  Experiment jobs are seconds long, so queue contention is
+// irrelevant, and a plain FIFO keeps the execution order easy to reason
+// about when debugging a parallel sweep.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace refer::runner {
+
+/// Returns the pool size to use for a requested job count: values < 1
+/// mean "one job per hardware thread".
+[[nodiscard]] int resolve_jobs(int requested) noexcept;
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (clamped to >= 1).
+  explicit ThreadPool(int threads);
+
+  /// Drains the queue: every task submitted before destruction runs to
+  /// completion (their futures all become ready), then workers join.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `fn` and returns a future for its result.  An exception
+  /// thrown by `fn` is captured in the future and rethrown by get().
+  /// Throws std::runtime_error when the pool is shutting down.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) {
+        throw std::runtime_error("ThreadPool: submit after shutdown");
+      }
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+  [[nodiscard]] int size() const noexcept {
+    return static_cast<int>(workers_.size());
+  }
+
+  /// Tasks accepted so far (for tests / progress reporting).
+  [[nodiscard]] std::size_t pending() const;
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+};
+
+}  // namespace refer::runner

@@ -3,7 +3,7 @@
 charts -- no third-party dependencies, just the Python standard library.
 
 Usage:
-    ./build/bench/fig04_mobility_throughput --csv out/fig
+    ./build/bench/referbench fig04 --csv out/fig
     tools/plot_figures.py out/fig_fig04.csv          # -> out/fig_fig04.svg
     tools/plot_figures.py out/*.csv
 """

@@ -1,28 +1,37 @@
 #!/usr/bin/env bash
 # Full reproduction pipeline: build, test, regenerate every figure at
-# paper-closer scale (--full: 5 seeds, 200 s windows), export CSVs and
-# render SVG plots.  Expect ~30-60 min of wall clock.
+# paper-closer scale (--full: 5 seeds, 200 s windows), export CSVs +
+# structured JSON results and render SVG plots.
+# Expect ~30-60 min of wall clock serial; pass --jobs to referbench via
+# JOBS=N to parallelise across cores (bit-identical results).
 #
 #   tools/run_full_reproduction.sh [outdir]
+#   JOBS=8 tools/run_full_reproduction.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 OUT="${1:-reproduction_out}"
+JOBS="${JOBS:-0}"   # 0 = one worker per core
 mkdir -p "$OUT"
 
 cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build --output-on-failure | tee "$OUT/tests.txt"
 
-for b in build/bench/fig*; do
-  name=$(basename "$b")
+REFERBENCH=build/bench/referbench
+for name in fig04 fig05 fig06 fig07 fig08 fig09 fig10 fig11; do
   echo "== $name"
-  "$b" --full --csv "$OUT/$name" | tee "$OUT/$name.txt"
+  "$REFERBENCH" "$name" --full --jobs "$JOBS" --csv "$OUT/$name" \
+    --json "$OUT/$name.json" | tee "$OUT/$name.txt"
 done
-for b in ablation_failover ablation_dk ablation_topology ablation_lifetime \
-         ablation_sparse ablation_mac micro_routing_bench; do
-  echo "== $b"
-  "build/bench/$b" | tee "$OUT/$b.txt"
+for name in ablation_failover ablation_dk ablation_topology \
+            ablation_lifetime ablation_sparse ablation_mac \
+            ablation_timeline; do
+  echo "== $name"
+  "$REFERBENCH" "$name" --jobs "$JOBS" --json "$OUT/$name.json" \
+    | tee "$OUT/$name.txt"
 done
+echo "== micro_routing_bench"
+build/bench/micro_routing_bench | tee "$OUT/micro_routing_bench.txt"
 
 if command -v python3 >/dev/null; then
   python3 tools/plot_figures.py "$OUT"/*.csv || true
