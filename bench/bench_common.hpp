@@ -17,6 +17,10 @@
 //   --jobs N        parallel (system, x, seed) jobs; 0 = all cores
 //   --csv PREFIX    also write PREFIX_<metric>.csv for plotting
 //   --json PATH     structured results document (runner::ResultsWriter)
+//   --trace DIR     write one JSONL trace per (system, x, seed) job to
+//                   DIR/<bench>/ (analyze with tools trace_report)
+//   --profile       attach the kernel profiler (per-event-tag wall-time
+//                   histograms in the observability section)
 //   --quick         reps=1, measure=45 (CI smoke runs)
 //   --full          reps=5, measure=200 (closer to paper scale)
 //
@@ -26,6 +30,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <string>
 #include <utility>
 #include <vector>
@@ -41,6 +46,7 @@ struct BenchOptions {
   int jobs = 1;            ///< worker threads; 0 = one per hardware thread
   std::string csv_prefix;  ///< when set, each table is also written as CSV
   std::string json_path;   ///< when set, a results JSON is written per bench
+  std::string trace_dir;   ///< when set, per-job JSONL traces land here
   harness::Scenario base;
 };
 
@@ -92,6 +98,10 @@ inline BenchOptions parse_options(int argc, char** argv) {
       opt.csv_prefix = string_value(i);
     } else if (arg == "--json") {
       opt.json_path = string_value(i);
+    } else if (arg == "--trace") {
+      opt.trace_dir = string_value(i);
+    } else if (arg == "--profile") {
+      opt.base.profile = true;
     } else if (arg == "--quick") {
       opt.reps = 1;
       opt.base.measure_s = 45;
@@ -113,6 +123,12 @@ struct Context {
       : opt(std::move(options)),
         name(std::move(bench_name)),
         executor(opt.jobs) {
+    if (!opt.trace_dir.empty()) {
+      // One trace directory per bench; every decomposed job writes its
+      // own <system>_x<x>_rep<rep>.jsonl inside it.
+      opt.base.trace_dir = opt.trace_dir + "/" + name;
+      std::filesystem::create_directories(opt.base.trace_dir);
+    }
     results.set_tool("referbench");
     results.set_benchmark(name);
     results.set_jobs(executor.jobs());

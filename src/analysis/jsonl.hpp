@@ -1,0 +1,35 @@
+// Flat-JSON-object parser for the trace analysis tools.
+//
+// The JSONL trace files written by sim::JsonlTraceWriter are streams of
+// *flat* objects (string / number / bool / null values, no nesting), so
+// the analyzer does not need a general JSON library: this parser accepts
+// exactly that subset and rejects everything else.  Write-side JSON
+// stays in runner/json.hpp; this is the matching read side.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace refer::analysis {
+
+/// One scalar value of a flat JSON object.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+};
+
+/// Parsed object, keyed by member name (later duplicates win).
+using JsonObject = std::map<std::string, JsonValue>;
+
+/// Parses one line of the form {"k": v, ...} where every v is a string,
+/// number, true/false or null.  Returns nullopt on malformed input or on
+/// nested objects/arrays.  Leading/trailing whitespace is allowed.
+[[nodiscard]] std::optional<JsonObject> parse_flat_object(
+    std::string_view line);
+
+}  // namespace refer::analysis

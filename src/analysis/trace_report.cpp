@@ -1,0 +1,330 @@
+#include "analysis/trace_report.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <limits>
+#include <optional>
+
+#include "analysis/jsonl.hpp"
+#include "kautz/label.hpp"
+#include "kautz/routing.hpp"
+
+namespace refer::analysis {
+
+namespace {
+
+/// Numeric member or `fallback` when absent / not a number.
+double num_or(const JsonObject& obj, const std::string& key, double fallback) {
+  const auto it = obj.find(key);
+  if (it == obj.end() || it->second.kind != JsonValue::Kind::kNumber) {
+    return fallback;
+  }
+  return it->second.number;
+}
+
+/// String member or "" when absent / not a string.
+std::string str_or(const JsonObject& obj, const std::string& key) {
+  const auto it = obj.find(key);
+  if (it == obj.end() || it->second.kind != JsonValue::Kind::kString) {
+    return {};
+  }
+  return it->second.str;
+}
+
+bool has_number(const JsonObject& obj, const std::string& key) {
+  const auto it = obj.find(key);
+  return it != obj.end() && it->second.kind == JsonValue::Kind::kNumber;
+}
+
+bool is_routing_event(const std::string& event) {
+  return event == "packet_sent" || event == "hop_forward" ||
+         event == "failover" || event == "packet_dropped" ||
+         event == "packet_delivered" || event == "qos_deadline_miss";
+}
+
+bool is_known_event(const std::string& event) {
+  return is_routing_event(event) || event == "unicast_queued" ||
+         event == "unicast_delivered" || event == "unicast_failed" ||
+         event == "broadcast" || event == "node_down" || event == "node_up";
+}
+
+/// Folds one parsed record into the report; returns false on a schema
+/// violation (missing / mistyped keys for the event type).
+bool ingest(TraceReport& report, const JsonObject& obj) {
+  const std::string event = str_or(obj, "event");
+  if (event.empty() || !has_number(obj, "t")) return false;
+  ++report.events_by_type[event];
+  if (!is_known_event(event)) return false;
+  if (!is_routing_event(event)) return true;
+
+  // Routing events are packet-scoped: the id is mandatory -- except for
+  // QoS misses from baseline systems, which do not track packet ids and
+  // can only be counted globally.
+  if (!has_number(obj, "packet")) {
+    if (event == "qos_deadline_miss") {
+      ++report.qos_misses;
+      return true;
+    }
+    return false;
+  }
+  const auto id = static_cast<long long>(num_or(obj, "packet", -1));
+  const double t = num_or(obj, "t", 0);
+  PacketTrace& pkt = report.packets[id];
+  pkt.id = id;
+  pkt.end_t = t;
+
+  if (event == "packet_sent") {
+    ++report.packets_sent;
+    pkt.sent_t = t;
+  } else if (event == "hop_forward") {
+    HopRecord hop;
+    hop.t = t;
+    hop.from = static_cast<long long>(num_or(obj, "from", -1));
+    hop.to = static_cast<long long>(num_or(obj, "to", -1));
+    hop.hop_index = static_cast<int>(num_or(obj, "hop", -1));
+    hop.at = str_or(obj, "at");
+    hop.dst = str_or(obj, "dst");
+    hop.next = str_or(obj, "next");
+    pkt.hops.push_back(std::move(hop));
+  } else if (event == "failover") {
+    if (!has_number(obj, "alt")) return false;
+    ++report.failovers;
+    FailoverRecord f;
+    f.t = t;
+    f.node = static_cast<long long>(num_or(obj, "from", -1));
+    f.alt_index = static_cast<int>(num_or(obj, "alt", -1));
+    f.nominal_len = static_cast<int>(num_or(obj, "nominal_len", -1));
+    f.at = str_or(obj, "at");
+    f.dst = str_or(obj, "dst");
+    f.next = str_or(obj, "next");
+    pkt.failovers.push_back(std::move(f));
+  } else if (event == "packet_dropped") {
+    const std::string reason = str_or(obj, "reason");
+    if (reason.empty()) return false;
+    ++report.packets_dropped;
+    ++report.drops_by_reason[reason];
+    pkt.dropped = true;
+    pkt.drop_reason = reason;
+  } else if (event == "packet_delivered") {
+    ++report.packets_delivered;
+    pkt.delivered = true;
+  } else {  // qos_deadline_miss
+    ++report.qos_misses;
+    pkt.qos_miss = true;
+  }
+  return true;
+}
+
+int max_label_digit(const std::string& label) {
+  int d = -1;
+  for (const char c : label) {
+    if (c >= '0' && c <= '9') d = std::max(d, c - '0');
+  }
+  return d;
+}
+
+/// d of K(d, k): the labels use the alphabet {0..d}, so the largest
+/// digit seen anywhere *is* d (assuming the run exercised it, which any
+/// non-trivial trace does; --degree overrides otherwise).
+int infer_degree(const TraceReport& report) {
+  int d = -1;
+  for (const auto& [id, pkt] : report.packets) {
+    for (const HopRecord& hop : pkt.hops) {
+      d = std::max({d, max_label_digit(hop.at), max_label_digit(hop.dst),
+                    max_label_digit(hop.next)});
+    }
+    for (const FailoverRecord& f : pkt.failovers) {
+      d = std::max({d, max_label_digit(f.at), max_label_digit(f.dst),
+                    max_label_digit(f.next)});
+    }
+  }
+  return d;
+}
+
+/// Audit 2: hop chains of delivered packets must be connected, and every
+/// labelled hop must be a genuine Kautz arc.
+void audit_chains(TraceReport& report) {
+  for (auto& [id, pkt] : report.packets) {
+    for (std::size_t i = 0; i < pkt.hops.size(); ++i) {
+      const HopRecord& hop = pkt.hops[i];
+      if (pkt.delivered && i + 1 < pkt.hops.size() &&
+          pkt.hops[i + 1].from != hop.to) {
+        ++report.chain_breaks;
+      }
+      if (hop.at.empty() || hop.next.empty()) continue;
+      const auto at = kautz::Label::parse(hop.at);
+      const auto next = kautz::Label::parse(hop.next);
+      if (!at || !next || next->empty() ||
+          at->length() != next->length() ||
+          *next != at->shift_append(next->last()) ||
+          next->last() == at->last()) {
+        ++report.arc_violations;
+      }
+    }
+  }
+}
+
+/// Audit 3: every Theorem 3.8 fail-over re-derived offline.  The chosen
+/// successor must appear in kautz::disjoint_routes(d, at, dst) with the
+/// recorded nominal length, and the packet's observed continuation to
+/// dst (when it completed without further fail-overs) must take at most
+/// nominal_len arcs -- greedy can shortcut, never overshoot.
+void audit_failovers(TraceReport& report) {
+  if (report.degree < 2) return;  // no labelled fail-overs to audit
+  for (auto& [id, pkt] : report.packets) {
+    for (std::size_t fi = 0; fi < pkt.failovers.size(); ++fi) {
+      const FailoverRecord& f = pkt.failovers[fi];
+      if (f.nominal_len < 0 || f.at.empty() || f.dst.empty() ||
+          f.next.empty()) {
+        continue;  // CAN-level or route-generation fail-over
+      }
+      ++report.failovers_checked;
+      const auto at = kautz::Label::parse(f.at);
+      const auto dst = kautz::Label::parse(f.dst);
+      const auto next = kautz::Label::parse(f.next);
+      if (!at || !dst || !next || *at == *dst) {
+        ++report.failover_mismatches;
+        continue;
+      }
+      bool found = false;
+      for (const kautz::Route& route :
+           kautz::disjoint_routes(report.degree, *at, *dst)) {
+        if (route.successor == *next) {
+          found = route.nominal_length == f.nominal_len;
+          break;
+        }
+      }
+      if (!found) {
+        ++report.failover_mismatches;
+        continue;
+      }
+      // Observed continuation: hops after this fail-over routing towards
+      // the same dst, until the target is reached or the segment is cut
+      // short (another fail-over, a re-target, a drop).
+      const double next_failover_t = fi + 1 < pkt.failovers.size()
+                                         ? pkt.failovers[fi + 1].t
+                                         : std::numeric_limits<double>::max();
+      int observed = 0;
+      bool completed = false;
+      for (const HopRecord& hop : pkt.hops) {
+        if (hop.t < f.t || hop.at.empty()) continue;
+        if (hop.t >= next_failover_t || hop.dst != f.dst) break;
+        ++observed;
+        if (hop.next == f.dst) {
+          completed = true;
+          break;
+        }
+      }
+      if (completed && observed > f.nominal_len) {
+        ++report.path_length_violations;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+TraceReport analyze_trace(std::istream& in, const TraceReportOptions& opts) {
+  TraceReport report;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++report.lines;
+    const auto obj = parse_flat_object(line);
+    if (!obj) {
+      ++report.parse_errors;
+      continue;
+    }
+    if (!ingest(report, *obj)) ++report.schema_errors;
+  }
+  report.degree = opts.degree > 0 ? opts.degree : infer_degree(report);
+  audit_chains(report);
+  audit_failovers(report);
+  return report;
+}
+
+TraceReport analyze_trace_file(const std::string& path,
+                               const TraceReportOptions& opts) {
+  std::ifstream in(path);
+  if (!in) {
+    TraceReport report;
+    report.parse_errors = 1;
+    return report;
+  }
+  return analyze_trace(in, opts);
+}
+
+void print_report(const TraceReport& report, const TraceReportOptions& opts,
+                  std::FILE* out) {
+  std::fprintf(out,
+               "%llu lines (%llu parse errors, %llu schema errors)\n",
+               static_cast<unsigned long long>(report.lines),
+               static_cast<unsigned long long>(report.parse_errors),
+               static_cast<unsigned long long>(report.schema_errors));
+  std::fprintf(out, "events:");
+  for (const auto& [event, count] : report.events_by_type) {
+    std::fprintf(out, " %s=%llu", event.c_str(),
+                 static_cast<unsigned long long>(count));
+  }
+  std::fprintf(out, "\n");
+  std::fprintf(out,
+               "packets: sent=%llu delivered=%llu dropped=%llu "
+               "qos_misses=%llu\n",
+               static_cast<unsigned long long>(report.packets_sent),
+               static_cast<unsigned long long>(report.packets_delivered),
+               static_cast<unsigned long long>(report.packets_dropped),
+               static_cast<unsigned long long>(report.qos_misses));
+  if (!report.drops_by_reason.empty()) {
+    std::fprintf(out, "drop reasons:");
+    for (const auto& [reason, count] : report.drops_by_reason) {
+      std::fprintf(out, " %s=%llu", reason.c_str(),
+                   static_cast<unsigned long long>(count));
+    }
+    std::fprintf(out, "\n");
+  }
+  std::fprintf(out,
+               "theorem 3.8 audit (d=%d): %llu fail-overs, %llu checked, "
+               "%llu route mismatches, %llu path-length violations\n",
+               report.degree,
+               static_cast<unsigned long long>(report.failovers),
+               static_cast<unsigned long long>(report.failovers_checked),
+               static_cast<unsigned long long>(report.failover_mismatches),
+               static_cast<unsigned long long>(report.path_length_violations));
+  std::fprintf(out, "hop chains: %llu breaks, %llu invalid Kautz arcs\n",
+               static_cast<unsigned long long>(report.chain_breaks),
+               static_cast<unsigned long long>(report.arc_violations));
+
+  // Show the first few packets that actually needed fail-overs: the
+  // per-hop chain with the switch points inline.
+  std::size_t shown = 0;
+  for (const auto& [id, pkt] : report.packets) {
+    if (shown >= opts.max_chains) break;
+    if (pkt.failovers.empty() || pkt.hops.empty()) continue;
+    ++shown;
+    std::fprintf(out, "packet %lld (%s, %zu fail-overs):", pkt.id,
+                 pkt.delivered
+                     ? "delivered"
+                     : (pkt.dropped ? pkt.drop_reason.c_str() : "in flight"),
+                 pkt.failovers.size());
+    std::size_t next_fail = 0;
+    for (const HopRecord& hop : pkt.hops) {
+      while (next_fail < pkt.failovers.size() &&
+             pkt.failovers[next_fail].t <= hop.t) {
+        const FailoverRecord& f = pkt.failovers[next_fail++];
+        if (f.nominal_len >= 0) {
+          std::fprintf(out, " !alt%d(len<=%d)", f.alt_index, f.nominal_len);
+        } else {
+          std::fprintf(out, " !alt%d", f.alt_index);
+        }
+      }
+      if (!hop.at.empty() && !hop.next.empty()) {
+        std::fprintf(out, " %s>%s", hop.at.c_str(), hop.next.c_str());
+      } else {
+        std::fprintf(out, " n%lld>n%lld", hop.from, hop.to);
+      }
+    }
+    std::fprintf(out, "\n");
+  }
+}
+
+}  // namespace refer::analysis

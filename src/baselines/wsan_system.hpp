@@ -4,8 +4,10 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 
+#include "common/stats_registry.hpp"
 #include "sim/world.hpp"
 
 namespace refer::baselines {
@@ -17,7 +19,10 @@ struct Delivery {
   bool delivered = false;
   double delay_s = 0;      ///< send -> actuator arrival (simulated seconds)
   int physical_hops = 0;   ///< frames on the air for the payload
+  int kautz_hops = 0;      ///< overlay hops (0 for non-overlay baselines)
+  int failovers = 0;       ///< alternate-route switches en route
   NodeId actuator = -1;    ///< receiving actuator
+  std::int64_t packet_id = -1;  ///< trace id; -1 when the system has none
 };
 
 /// A WSAN under evaluation.
@@ -36,6 +41,12 @@ class WsanSystem {
 
   /// Display name for tables.
   [[nodiscard]] virtual const char* name() const = 0;
+
+  /// Exports system-internal counters (routing stats, drop reasons) into
+  /// `registry` at end of run.  Default: nothing to export.
+  virtual void export_stats(StatsRegistry& registry) const {
+    (void)registry;
+  }
 };
 
 }  // namespace refer::baselines

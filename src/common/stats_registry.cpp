@@ -1,0 +1,84 @@
+#include "common/stats_registry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace refer {
+
+namespace {
+
+// Bucket i covers [2^((i-80)/4), 2^((i-79)/4)); index 0 additionally
+// absorbs everything <= 2^-20 (including 0 and negatives).
+constexpr int kBucketOffset = 80;
+constexpr double kDivisionsPerOctave = 4.0;
+
+int bucket_of(double x) noexcept {
+  if (!(x > 0.0)) return 0;
+  const int i =
+      static_cast<int>(std::floor(std::log2(x) * kDivisionsPerOctave)) +
+      kBucketOffset;
+  return std::clamp(i, 0, Histogram::kBuckets - 1);
+}
+
+double bucket_midpoint(int i) noexcept {
+  return std::exp2((static_cast<double>(i - kBucketOffset) + 0.5) /
+                   kDivisionsPerOctave);
+}
+
+}  // namespace
+
+void Histogram::record(double x) noexcept {
+  ++buckets_[static_cast<std::size_t>(bucket_of(x))];
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+  ++count_;
+  sum_ += x;
+}
+
+double Histogram::quantile(double q) const noexcept {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      q * static_cast<double>(count_ - 1));
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[static_cast<std::size_t>(i)];
+    if (seen > target) {
+      return std::clamp(bucket_midpoint(i), min_, max_);
+    }
+  }
+  return max_;
+}
+
+std::vector<StatsRegistry::Entry> StatsRegistry::snapshot() const {
+  std::vector<Entry> out;
+  out.reserve(counters_.size() + histograms_.size());
+  for (const auto& [name, c] : counters_) {
+    Entry e;
+    e.name = name;
+    e.count = c.value();
+    out.push_back(std::move(e));
+  }
+  for (const auto& [name, h] : histograms_) {
+    Entry e;
+    e.name = name;
+    e.is_histogram = true;
+    e.count = h.count();
+    e.sum = h.sum();
+    e.min = h.min();
+    e.max = h.max();
+    e.p50 = h.quantile(0.50);
+    e.p95 = h.quantile(0.95);
+    e.p99 = h.quantile(0.99);
+    out.push_back(std::move(e));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Entry& a, const Entry& b) { return a.name < b.name; });
+  return out;
+}
+
+}  // namespace refer

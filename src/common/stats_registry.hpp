@@ -1,0 +1,100 @@
+// Named counters and streaming histograms for run observability.
+//
+// A StatsRegistry is the per-run home of cheap instrumentation: protocol
+// and kernel components register a Counter or Histogram once (a map
+// lookup), cache the returned reference, and then sample it with a plain
+// increment / one log2 per event.  At the end of a run the harness
+// snapshots the registry into RunMetrics::observability, which the
+// ResultsWriter exports under the schema-v2 "observability" key.
+//
+// Registries are single-run-local, like sim::Tracer: under the parallel
+// executor every job owns its Deployment and therefore its registry, so
+// no synchronisation is needed (or provided).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace refer {
+
+/// Monotonic named counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept { value_ += n; }
+  void set(std::uint64_t v) noexcept { value_ = v; }
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Streaming histogram over non-negative samples: fixed geometric buckets
+/// (4 per octave, ~19% relative resolution) plus exact count / sum / min /
+/// max.  record() costs one log2 and an increment; memory is constant.
+class Histogram {
+ public:
+  /// Buckets span 2^-20 .. 2^43 (sub-microsecond to ~10^13); samples
+  /// outside clamp into the edge buckets.
+  static constexpr int kBuckets = 256;
+
+  void record(double x) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double min() const noexcept { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return count_ ? max_ : 0.0; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+
+  /// Approximate q-quantile (q in [0, 1]): geometric midpoint of the
+  /// bucket holding the q-th sample, clamped to the exact [min, max].
+  [[nodiscard]] double quantile(double q) const noexcept;
+
+ private:
+  std::array<std::uint32_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Owns counters and histograms by name.  References returned by
+/// counter() / histogram() stay valid for the registry's lifetime
+/// (node-based storage), so hot paths cache them.
+class StatsRegistry {
+ public:
+  [[nodiscard]] Counter& counter(const std::string& name) {
+    return counters_[name];
+  }
+  [[nodiscard]] Histogram& histogram(const std::string& name) {
+    return histograms_[name];
+  }
+
+  /// One snapshot row; counters fill only `count`, histograms fill all
+  /// fields (count = sample count).
+  struct Entry {
+    std::string name;
+    bool is_histogram = false;
+    std::uint64_t count = 0;
+    double sum = 0, min = 0, max = 0;
+    double p50 = 0, p95 = 0, p99 = 0;
+  };
+
+  /// Every counter and histogram, sorted by name (deterministic).
+  [[nodiscard]] std::vector<Entry> snapshot() const;
+
+  void clear() {
+    counters_.clear();
+    histograms_.clear();
+  }
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace refer

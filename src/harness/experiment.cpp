@@ -42,8 +42,11 @@ using sim::NodeId;
 class ReferAdapter final : public WsanSystem {
  public:
   ReferAdapter(sim::Simulator& sim, sim::World& world, sim::Channel& channel,
-               sim::EnergyTracker& energy, Rng rng)
-      : system_(sim, world, channel, energy, rng) {}
+               sim::EnergyTracker& energy, Rng rng,
+               sim::Tracer* tracer = nullptr)
+      : system_(sim, world, channel, energy, rng) {
+    if (tracer) system_.set_tracer(tracer);
+  }
 
   void build(std::function<void(bool)> done) override {
     system_.build(std::move(done));
@@ -57,12 +60,33 @@ class ReferAdapter final : public WsanSystem {
           d.delivered = r.delivered;
           d.delay_s = r.delay_s;
           d.physical_hops = r.physical_hops;
+          d.kautz_hops = r.kautz_hops;
+          d.failovers = r.failovers;
           d.actuator = r.final_node;
+          d.packet_id = r.packet_id;
           done(d);
         });
   }
 
   [[nodiscard]] const char* name() const override { return "REFER"; }
+
+  void export_stats(StatsRegistry& registry) const override {
+    const core::ReferRouter::Stats& s = system_.router().stats();
+    registry.counter("router.packets_sent").set(s.packets_sent);
+    registry.counter("router.packets_delivered").set(s.packets_delivered);
+    registry.counter("router.packets_dropped").set(s.packets_dropped);
+    registry.counter("router.failovers").set(s.failovers);
+    registry.counter("router.route_gen_floods").set(s.route_gen_floods);
+    registry.counter("router.relays_used").set(s.relays_used);
+    registry.counter("router.can_hops").set(s.can_hops);
+    for (std::size_t i = 0; i < s.drops_by_reason.size(); ++i) {
+      if (s.drops_by_reason[i] == 0) continue;
+      registry
+          .counter(std::string("router.drop.") +
+                   sim::to_string(static_cast<sim::DropReason>(i)))
+          .set(s.drops_by_reason[i]);
+    }
+  }
 
  private:
   core::ReferSystem system_;
@@ -83,6 +107,8 @@ struct Deployment {
     place_sensors();
     energy.resize(world.size());
     energy.set_initial_battery(sc.initial_battery_j);
+    channel.set_stats(&stats);
+    if (sc.profile) sim.set_profiler(&stats);
     if (!sc.trace_path.empty()) {
       trace_writer = std::make_unique<sim::JsonlTraceWriter>(sc.trace_path);
       tracer.set_sink(std::ref(*trace_writer));
@@ -149,7 +175,8 @@ struct Deployment {
     switch (kind) {
       case SystemKind::kRefer:
         return std::make_unique<ReferAdapter>(sim, world, channel, energy,
-                                              Rng(scenario.seed ^ 0x5EED));
+                                              Rng(scenario.seed ^ 0x5EED),
+                                              &tracer);
       case SystemKind::kDaTree:
         return std::make_unique<baselines::DaTree>(sim, world, channel,
                                                    flooder);
@@ -166,6 +193,7 @@ struct Deployment {
   Scenario scenario;
   Rng rng;
   sim::Tracer tracer;
+  StatsRegistry stats;
   std::unique_ptr<sim::JsonlTraceWriter> trace_writer;
   sim::Simulator sim;
   sim::World world;
@@ -180,7 +208,12 @@ struct Deployment {
 class Driver {
  public:
   Driver(Deployment& dep, WsanSystem& system)
-      : dep_(&dep), system_(&system) {}
+      : dep_(&dep),
+        system_(&system),
+        delay_ms_(&dep.stats.histogram("delivery.delay_ms")),
+        kautz_hops_(&dep.stats.histogram("delivery.kautz_hops")),
+        physical_hops_(&dep.stats.histogram("delivery.physical_hops")),
+        failovers_(&dep.stats.histogram("delivery.failovers")) {}
 
   RunMetrics run() {
     RunMetrics metrics;
@@ -243,6 +276,23 @@ class Driver {
     metrics.construction_energy_j = dep_->energy.construction_total();
     metrics.total_energy_j =
         metrics.comm_energy_j + metrics.construction_energy_j;
+
+    // Observability snapshot: kernel, channel and system counters join
+    // the streamed histograms collected during the run.
+    StatsRegistry& st = dep_->stats;
+    st.counter("sim.events_executed").set(dep_->sim.events_executed());
+    st.counter("sim.peak_queue_depth").set(dep_->sim.peak_pending());
+    const sim::ChannelStats& cs = dep_->channel.stats();
+    st.counter("channel.unicasts_sent").set(cs.unicasts_sent);
+    st.counter("channel.unicasts_delivered").set(cs.unicasts_delivered);
+    st.counter("channel.unicasts_failed").set(cs.unicasts_failed);
+    st.counter("channel.broadcasts_sent").set(cs.broadcasts_sent);
+    for (const auto& [node, airtime] : dep_->channel.busiest_nodes(5)) {
+      st.counter("node." + std::to_string(node) + ".airtime_us")
+          .set(static_cast<std::uint64_t>(airtime * 1e6));
+    }
+    system_->export_stats(st);
+    metrics.observability = st.snapshot();
     return metrics;
   }
 
@@ -284,11 +334,23 @@ class Driver {
                               if (!counted || !d.delivered) return;
                               ++delivered_;
                               all_delays_ms_.push_back(d.delay_s * 1000.0);
+                              delay_ms_->record(d.delay_s * 1000.0);
+                              kautz_hops_->record(d.kautz_hops);
+                              physical_hops_->record(d.physical_hops);
+                              failovers_->record(d.failovers);
                               if (d.delay_s <=
                                   dep_->scenario.qos_deadline_s) {
                                 ++qos_delivered_;
                                 delay_sum_s_ += d.delay_s;
                                 record_timeline(dep_->sim.now());
+                              } else if (dep_->tracer.enabled()) {
+                                sim::TraceRecord rec;
+                                rec.t = dep_->sim.now();
+                                rec.event = sim::TraceEvent::kQosDeadlineMiss;
+                                rec.from = d.actuator;
+                                rec.packet = d.packet_id;
+                                rec.hop_index = d.kautz_hops;
+                                dep_->tracer.emit(rec);
                               }
                             });
       });
@@ -323,6 +385,11 @@ class Driver {
 
   Deployment* dep_;
   WsanSystem* system_;
+  // Per-delivery streaming histograms (owned by the deployment registry).
+  Histogram* delay_ms_;
+  Histogram* kautz_hops_;
+  Histogram* physical_hops_;
+  Histogram* failovers_;
   Rng workload_rng_{0xBADC0DE};
   Rng fault_rng_{0xFA171};
   std::vector<NodeId> faulty_;
@@ -420,6 +487,16 @@ void append_group(std::vector<JobSpec>& specs, std::size_t group, double x,
     spec.record.seed = base_seed + static_cast<std::uint64_t>(i) * 7919;
     spec.scenario = scenario;
     spec.scenario.seed = spec.record.seed;
+    if (!scenario.trace_dir.empty()) {
+      // One trace file per decomposed job; the name is a pure function
+      // of (system, x, rep), so serial and parallel executions produce
+      // byte-identical file sets.
+      char xbuf[32];
+      std::snprintf(xbuf, sizeof xbuf, "%g", x);
+      spec.scenario.trace_path = scenario.trace_dir + "/" + to_string(kind) +
+                                 "_x" + xbuf + "_rep" + std::to_string(i) +
+                                 ".jsonl";
+    }
     specs.push_back(std::move(spec));
   }
 }

@@ -7,6 +7,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/stats_registry.hpp"
+
 namespace refer::harness {
 
 struct RunMetrics {
@@ -36,6 +38,12 @@ struct RunMetrics {
   /// QoS throughput per Scenario::timeline_bucket_s bucket (empty when
   /// the scenario did not request a timeline).
   std::vector<double> qos_timeline_kbps;
+
+  /// Observability snapshot: every counter and histogram the run's
+  /// StatsRegistry collected (router stats, drop reasons, channel queue
+  /// waits, kernel profile, peak queue depth), sorted by name.  Exported
+  /// as the "observability" section of the results JSON (schema v2).
+  std::vector<StatsRegistry::Entry> observability;
 
   bool build_ok = false;
 };

@@ -72,6 +72,17 @@ struct Scenario {
   /// When non-empty, every radio frame event of the run is written to
   /// this file as JSON lines (sim::JsonlTraceWriter).
   std::string trace_path;
+
+  /// When non-empty, run_repeated / sweep derive a per-job trace_path
+  /// `<trace_dir>/<system>_x<x>_rep<rep>.jsonl` for every decomposed
+  /// (system, x, seed) job.  The directory must exist.
+  std::string trace_dir;
+
+  /// When true, the simulator kernel profiler is attached: per-event-tag
+  /// wall-time histograms ("sim.event_us.<tag>") land in the run's
+  /// observability snapshot.  Costs two clock reads per event; off by
+  /// default so benchmark numbers stay undisturbed.
+  bool profile = false;
 };
 
 }  // namespace refer::harness

@@ -28,6 +28,19 @@ void ReferRouter::send_to(NodeId src, FullId dst, std::size_t bytes,
   start(src, dst, /*stop_at_any_actuator=*/false, bytes, std::move(done));
 }
 
+sim::TraceRecord ReferRouter::trace_base(sim::TraceEvent event,
+                                         const Packet& pkt,
+                                         NodeId from) const {
+  sim::TraceRecord rec;
+  rec.t = sim_->now();
+  rec.event = event;
+  rec.from = from;
+  rec.bytes = pkt.bytes;
+  rec.packet = pkt.id;
+  rec.hop_index = pkt.kautz_hops;
+  return rec;
+}
+
 void ReferRouter::start(NodeId src, FullId dst, bool stop_at_any_actuator,
                         std::size_t bytes, DeliveryFn done) {
   ++stats_.packets_sent;
@@ -37,7 +50,11 @@ void ReferRouter::start(NodeId src, FullId dst, bool stop_at_any_actuator,
   pkt->bytes = bytes;
   pkt->sent_at = sim_->now();
   pkt->hops_left = config_.hop_budget_factor * topology_->diameter() + 6;
+  pkt->id = next_packet_id_++;
   pkt->done = std::move(done);
+  if (tracing()) {
+    tracer_->emit(trace_base(sim::TraceEvent::kPacketSent, *pkt, src));
+  }
 
   if (world_->is_actuator(src)) {
     if (stop_at_any_actuator) {
@@ -60,7 +77,7 @@ void ReferRouter::start(NodeId src, FullId dst, bool stop_at_any_actuator,
 
 void ReferRouter::enter_overlay(NodeId at, int budget, PacketPtr pkt) {
   if (budget <= 0) {
-    drop(pkt);
+    drop(pkt, sim::DropReason::kOverlayEntryFailed);
     return;
   }
   // Prefer an overlay member in range; otherwise the neighbour that makes
@@ -69,7 +86,7 @@ void ReferRouter::enter_overlay(NodeId at, int budget, PacketPtr pkt) {
   double best_member = std::numeric_limits<double>::infinity();
   const NodeId actuator = world_->closest_actuator(at);
   if (actuator < 0) {
-    drop(pkt);
+    drop(pkt, sim::DropReason::kNoActuator);
     return;
   }
   const Point goal = world_->position(actuator);
@@ -92,16 +109,22 @@ void ReferRouter::enter_overlay(NodeId at, int budget, PacketPtr pkt) {
   }
   const NodeId next = member >= 0 ? member : closer;
   if (next < 0) {
-    drop(pkt);
+    drop(pkt, sim::DropReason::kOverlayEntryFailed);
     return;
   }
   channel_->unicast(at, next, pkt->bytes, EnergyBucket::kData,
-                    [this, next, budget, pkt](bool ok) {
+                    [this, at, next, budget, pkt](bool ok) {
                       if (!ok) {
-                        drop(pkt);
+                        drop(pkt, sim::DropReason::kLinkFailed);
                         return;
                       }
                       ++pkt->physical_hops;
+                      if (tracing()) {
+                        sim::TraceRecord rec = trace_base(
+                            sim::TraceEvent::kHopForward, *pkt, at);
+                        rec.to = next;
+                        tracer_->emit(rec);
+                      }
                       if (world_->is_actuator(next)) {
                         if (pkt->stop_at_any_actuator) {
                           deliver(next, pkt);
@@ -154,7 +177,7 @@ void ReferRouter::intra_step(Cid cid, Label label, NodeId node,
       }
     }
     if (!found) {
-      drop(pkt);
+      drop(pkt, sim::DropReason::kNoRoute);
       return;
     }
     target_is_corner = true;
@@ -173,7 +196,7 @@ void ReferRouter::intra_step(Cid cid, Label label, NodeId node,
     return;
   }
   if (pkt->hops_left-- <= 0) {
-    drop(pkt);
+    drop(pkt, sim::DropReason::kTtlExpired);
     return;
   }
 
@@ -233,11 +256,27 @@ void ReferRouter::try_routes(Cid cid, Label label, NodeId node,
       intra_step(cid, label, node, std::move(pkt));
       return;
     }
-    drop(pkt);
+    drop(pkt, sim::DropReason::kAllSuccessorsFailed);
     return;
   }
   if (next_choice > 0) {
+    // Theorem 3.8 fail-over: the previous successor's MAC ACK was
+    // missing, so this relay switches *locally* to the next disjoint
+    // alternative -- the per-event observable behind Figs. 6-7.
     ++stats_.failovers;
+    ++pkt->failovers;
+    if (tracing()) {
+      sim::TraceRecord rec =
+          trace_base(sim::TraceEvent::kFailover, *pkt, node);
+      rec.at_label = label.to_string();
+      rec.dst_label = pkt->current_target.to_string();
+      rec.alt_index = static_cast<int>(next_choice);
+      if (config_.failover == FailoverMode::kTheorem38) {
+        rec.next_label = routes[next_choice].successor.to_string();
+        rec.nominal_len = routes[next_choice].nominal_length;
+      }
+      tracer_->emit(rec);
+    }
     if (config_.failover == FailoverMode::kRouteGeneration) {
       // BAKE/DFTR-style: instead of deriving the alternative from IDs,
       // the relay floods a route request towards the destination holder
@@ -268,6 +307,15 @@ void ReferRouter::try_routes(Cid cid, Label label, NodeId node,
                    return;
                  }
                  ++pkt->kautz_hops;
+                 if (tracing()) {
+                   sim::TraceRecord rec = trace_base(
+                       sim::TraceEvent::kHopForward, *pkt, node);
+                   rec.to = succ_node;
+                   rec.at_label = label.to_string();
+                   rec.dst_label = pkt->current_target.to_string();
+                   rec.next_label = succ_label.to_string();
+                   tracer_->emit(rec);
+                 }
                  if (forced) pkt->forced_next = forced;
                  intra_step(cid, succ_label, succ_node, std::move(pkt));
                });
@@ -276,7 +324,7 @@ void ReferRouter::try_routes(Cid cid, Label label, NodeId node,
 void ReferRouter::inter_step(NodeId actuator, PacketPtr pkt) {
   const auto& cells = topology_->actuator_cells(actuator);
   if (cells.empty()) {
-    drop(pkt);
+    drop(pkt, sim::DropReason::kNoRoute);
     return;
   }
   // Already a corner of the destination cell? descend.
@@ -284,7 +332,7 @@ void ReferRouter::inter_step(NodeId actuator, PacketPtr pkt) {
     if (cid == pkt->dst.cid) {
       const auto label = topology_->cell(cid).label_of(actuator);
       if (!label) {
-        drop(pkt);
+        drop(pkt, sim::DropReason::kNoRoute);
         return;
       }
       intra_step(cid, *label, actuator, pkt);
@@ -292,12 +340,12 @@ void ReferRouter::inter_step(NodeId actuator, PacketPtr pkt) {
     }
   }
   if (pkt->hops_left-- <= 0) {
-    drop(pkt);
+    drop(pkt, sim::DropReason::kTtlExpired);
     return;
   }
   if (pkt->dst.cid < 0 ||
       static_cast<std::size_t>(pkt->dst.cid) >= topology_->cell_count()) {
-    drop(pkt);
+    drop(pkt, sim::DropReason::kNoRoute);
     return;
   }
   const Point target = Topology::can_point(
@@ -314,7 +362,7 @@ void ReferRouter::inter_step(NodeId actuator, PacketPtr pkt) {
   }
   const auto next = topology_->can().next_hop(cur, target);
   if (!next) {
-    drop(pkt);
+    drop(pkt, sim::DropReason::kNoRoute);
     return;
   }
   ++stats_.can_hops;
@@ -339,17 +387,31 @@ void ReferRouter::inter_step(NodeId actuator, PacketPtr pkt) {
   auto attempt = std::make_shared<std::function<void(std::size_t)>>();
   *attempt = [this, actuator, candidates, pkt, attempt](std::size_t i) {
     if (i >= candidates.size()) {
-      drop(pkt);
+      drop(pkt, sim::DropReason::kAllSuccessorsFailed);
       return;
     }
     channel_->unicast(actuator, candidates[i], pkt->bytes, EnergyBucket::kData,
-                      [this, candidates, i, pkt, attempt](bool ok) {
+                      [this, actuator, candidates, i, pkt,
+                       attempt](bool ok) {
                         if (!ok) {
                           ++stats_.failovers;
+                          ++pkt->failovers;
+                          if (tracing()) {
+                            sim::TraceRecord rec = trace_base(
+                                sim::TraceEvent::kFailover, *pkt, actuator);
+                            rec.alt_index = static_cast<int>(i) + 1;
+                            tracer_->emit(rec);
+                          }
                           (*attempt)(i + 1);
                           return;
                         }
                         ++pkt->physical_hops;
+                        if (tracing()) {
+                          sim::TraceRecord rec = trace_base(
+                              sim::TraceEvent::kHopForward, *pkt, actuator);
+                          rec.to = candidates[i];
+                          tracer_->emit(rec);
+                        }
                         inter_step(candidates[i], pkt);
                       });
   };
@@ -416,7 +478,8 @@ void ReferRouter::route_generation_failover(Cid cid, NodeId node,
   const auto& cell = topology_->cell(cid);
   const auto dst_node = cell.node_of(target);
   if (!flooder_ || !dst_node || pkt->hops_left <= 0) {
-    drop(pkt);
+    drop(pkt, pkt->hops_left <= 0 ? sim::DropReason::kTtlExpired
+                                  : sim::DropReason::kFloodFailed);
     return;
   }
   ++stats_.route_gen_floods;
@@ -425,7 +488,7 @@ void ReferRouter::route_generation_failover(Cid cid, NodeId node,
       [this, cid, target, dst_node = *dst_node,
        pkt](std::optional<std::vector<NodeId>> path) {
         if (!path || path->size() < 2) {
-          drop(pkt);
+          drop(pkt, sim::DropReason::kFloodFailed);
           return;
         }
         net::send_along_path(
@@ -433,7 +496,7 @@ void ReferRouter::route_generation_failover(Cid cid, NodeId node,
             [this, cid, target, dst_node, pkt](std::size_t hops, bool ok) {
               pkt->physical_hops += static_cast<int>(hops);
               if (!ok) {
-                drop(pkt);
+                drop(pkt, sim::DropReason::kLinkFailed);
                 return;
               }
               pkt->kautz_hops += 1;
@@ -445,22 +508,37 @@ void ReferRouter::route_generation_failover(Cid cid, NodeId node,
 
 void ReferRouter::deliver(NodeId at, PacketPtr pkt) {
   ++stats_.packets_delivered;
+  if (tracing()) {
+    tracer_->emit(trace_base(sim::TraceEvent::kPacketDelivered, *pkt, at));
+  }
   DeliveryReport report;
   report.delivered = true;
   report.delay_s = sim_->now() - pkt->sent_at;
   report.kautz_hops = pkt->kautz_hops;
   report.physical_hops = pkt->physical_hops;
+  report.failovers = pkt->failovers;
   report.final_node = at;
+  report.packet_id = pkt->id;
   if (pkt->done) pkt->done(report);
 }
 
-void ReferRouter::drop(PacketPtr pkt) {
+void ReferRouter::drop(PacketPtr pkt, sim::DropReason reason) {
   ++stats_.packets_dropped;
+  ++stats_.drops_by_reason[static_cast<std::size_t>(reason)];
+  if (tracing()) {
+    sim::TraceRecord rec =
+        trace_base(sim::TraceEvent::kPacketDropped, *pkt, -1);
+    rec.reason = reason;
+    tracer_->emit(rec);
+  }
   DeliveryReport report;
   report.delivered = false;
   report.delay_s = sim_->now() - pkt->sent_at;
   report.kautz_hops = pkt->kautz_hops;
   report.physical_hops = pkt->physical_hops;
+  report.failovers = pkt->failovers;
+  report.packet_id = pkt->id;
+  report.drop_reason = reason;
   if (pkt->done) pkt->done(report);
 }
 

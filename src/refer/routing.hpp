@@ -18,6 +18,8 @@
 // "multi-hop path with the lowest delay").
 #pragma once
 
+#include <array>
+#include <cstdint>
 #include <functional>
 #include <memory>
 
@@ -54,7 +56,11 @@ struct DeliveryReport {
   double delay_s = 0;      ///< send -> delivery (simulated)
   int kautz_hops = 0;      ///< overlay hops taken
   int physical_hops = 0;   ///< frames on the air (>= kautz_hops)
+  int failovers = 0;       ///< alternate-successor switches en route
   NodeId final_node = -1;  ///< the node that terminated the packet
+  std::int64_t packet_id = -1;  ///< router-assigned id (matches traces)
+  /// Why the packet died (kNone when delivered).
+  sim::DropReason drop_reason = sim::DropReason::kNone;
 };
 
 class ReferRouter {
@@ -66,6 +72,13 @@ class ReferRouter {
 
   /// Required for FailoverMode::kRouteGeneration (unused otherwise).
   void set_flooder(net::Flooder* flooder) noexcept { flooder_ = flooder; }
+
+  /// Attaches a tracer: the router emits routing-level events
+  /// (kPacketSent / kHopForward / kFailover / kPacketDropped /
+  /// kPacketDelivered) carrying packet ids, overlay labels and
+  /// Theorem-3.8 nominal lengths at every forwarding decision.  One
+  /// branch per decision when no sink is attached.
+  void set_tracer(sim::Tracer* tracer) noexcept { tracer_ = tracer; }
 
   /// Sends sensed data from an active Kautz sensor to the nearest corner
   /// actuator of its cell (the evaluation workload: sensors report events
@@ -84,6 +97,10 @@ class ReferRouter {
     std::uint64_t route_gen_floods = 0;  ///< kRouteGeneration discoveries
     std::uint64_t relays_used = 0;    ///< 1-relay physical detours
     std::uint64_t can_hops = 0;       ///< inter-cell overlay hops
+    /// Drop counts indexed by sim::DropReason (observability snapshot).
+    std::array<std::uint64_t,
+               static_cast<std::size_t>(sim::DropReason::kDropReasonCount)>
+        drops_by_reason{};
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
@@ -96,8 +113,10 @@ class ReferRouter {
     std::size_t bytes;
     double sent_at;
     int hops_left;
+    std::int64_t id = -1;          ///< router-assigned trace id
     int kautz_hops = 0;
     int physical_hops = 0;
+    int failovers = 0;
     std::optional<Label> forced_next;  ///< Prop. 3.7 directive
     /// Corner actuators already found unreachable during overlay ascent;
     /// the packet re-targets the next-nearest corner instead of dying.
@@ -129,7 +148,16 @@ class ReferRouter {
   void route_generation_failover(Cid cid, NodeId node, Label target,
                                  PacketPtr pkt);
   void deliver(NodeId at, PacketPtr pkt);
-  void drop(PacketPtr pkt);
+  void drop(PacketPtr pkt, sim::DropReason reason);
+
+  /// True when routing-level trace emission is on (one branch).
+  [[nodiscard]] bool tracing() const noexcept {
+    return tracer_ && tracer_->enabled();
+  }
+  /// A routing-level record pre-filled with time / packet id / hop count.
+  [[nodiscard]] sim::TraceRecord trace_base(sim::TraceEvent event,
+                                            const Packet& pkt,
+                                            NodeId from) const;
 
   sim::Simulator* sim_;
   sim::World* world_;
@@ -138,6 +166,8 @@ class ReferRouter {
   RouterConfig config_;
   Rng rng_;
   net::Flooder* flooder_ = nullptr;
+  sim::Tracer* tracer_ = nullptr;
+  std::int64_t next_packet_id_ = 0;
   Stats stats_;
 };
 

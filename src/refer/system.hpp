@@ -56,6 +56,13 @@ class ReferSystem {
   void send_to(NodeId src, FullId dst, std::size_t bytes,
                ReferRouter::DeliveryFn done);
 
+  /// Attaches a tracer to the router: routing-level events (packet ids,
+  /// per-hop forwards, Theorem-3.8 fail-overs, drop reasons) stream
+  /// through it.  Pass nullptr to detach.
+  void set_tracer(sim::Tracer* tracer) noexcept {
+    router_->set_tracer(tracer);
+  }
+
   /// A uniformly random active Kautz sensor (the evaluation picks event
   /// sources among the awake overlay sensors); -1 when none exist.
   [[nodiscard]] NodeId random_active_sensor(Rng& rng) const;
@@ -65,6 +72,9 @@ class ReferSystem {
     return embedding_.topology();
   }
   [[nodiscard]] ReferRouter& router() noexcept { return *router_; }
+  [[nodiscard]] const ReferRouter& router() const noexcept {
+    return *router_;
+  }
   [[nodiscard]] MaintenanceProtocol& maintenance() noexcept {
     return *maintenance_;
   }

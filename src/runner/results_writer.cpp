@@ -65,6 +65,26 @@ void write_metrics(JsonWriter& w, const harness::RunMetrics& m) {
     for (const double v : m.qos_timeline_kbps) w.value(v);
     w.end_array();
   }
+  w.key("observability");
+  w.begin_array();
+  for (const StatsRegistry::Entry& e : m.observability) {
+    w.begin_object();
+    w.kv("name", e.name);
+    w.kv("kind", e.is_histogram ? "histogram" : "counter");
+    if (e.is_histogram) {
+      w.kv("n", e.count);
+      w.kv("sum", e.sum);
+      w.kv("min", e.min);
+      w.kv("max", e.max);
+      w.kv("p50", e.p50);
+      w.kv("p95", e.p95);
+      w.kv("p99", e.p99);
+    } else {
+      w.kv("count", e.count);
+    }
+    w.end_object();
+  }
+  w.end_array();
   w.end_object();
 }
 
@@ -92,6 +112,8 @@ void write_scenario(JsonWriter& w, const harness::Scenario& sc) {
   w.kv("seed", sc.seed);
   w.kv("csma", sc.csma);
   w.kv("timeline_bucket_s", sc.timeline_bucket_s);
+  w.kv("trace_dir", sc.trace_dir);
+  w.kv("profile", sc.profile);
   w.end_object();
 }
 

@@ -2,19 +2,26 @@
 // run, so BENCH_*.json perf trajectories are first-class instead of
 // scraped ASCII tables.
 //
-// Schema (version 1):
+// Schema (version 2; v1 + observability):
 //   {
-//     "schema_version": 1,
+//     "schema_version": 2,
 //     "tool": "referbench",
 //     "benchmark": "fig04",
 //     "title": "...",
 //     "git": "<git describe at configure time>",
 //     "jobs": 4, "repetitions": 3, "wall_s": 12.3,
-//     "scenario": { <every harness::Scenario field> },
+//     "scenario": { <every harness::Scenario field, incl. trace_dir
+//                    and profile> },
 //     "systems": ["REFER", "DaTree", "D-DEAR", "Kautz-overlay"],
 //     "jobs_run": [ {"x":.., "system":"REFER", "rep":0, "seed":1,
 //                    "wall_ms":.., "metrics": { <every RunMetrics
-//                    field, incl. delay_p50/p95/p99_ms> }}, ... ],
+//                    field, incl. delay_p50/p95/p99_ms>,
+//                    "observability": [
+//                      {"name":"router.failovers","kind":"counter",
+//                       "count":17},
+//                      {"name":"delivery.delay_ms","kind":"histogram",
+//                       "n":..,"sum":..,"min":..,"max":..,
+//                       "p50":..,"p95":..,"p99":..}, ... ] }}, ... ],
 //     "series": [ {"x_label":"...", "points": [ {"x":..,
 //                  "by_system": [ {"system":"REFER",
 //                    "qos_throughput_kbps": {"n":..,"mean":..,
@@ -29,7 +36,7 @@
 
 namespace refer::runner {
 
-inline constexpr int kResultsSchemaVersion = 1;
+inline constexpr int kResultsSchemaVersion = 2;
 
 /// `git describe --always --dirty` captured when the build was
 /// configured ("unknown" outside a git checkout).

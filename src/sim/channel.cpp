@@ -13,6 +13,11 @@ Channel::Channel(Simulator& sim, World& world, EnergyTracker& energy, Rng rng,
       rng_(rng),
       config_(config) {}
 
+void Channel::set_stats(StatsRegistry* registry) {
+  queue_wait_us_ =
+      registry ? &registry->histogram("channel.queue_wait_us") : nullptr;
+}
+
 double Channel::frame_time(std::size_t bytes) const noexcept {
   return config_.mac_overhead_s +
          static_cast<double>(bytes) * 8.0 / config_.bandwidth_bps;
@@ -56,10 +61,12 @@ void Channel::unicast(NodeId from, NodeId to, std::size_t bytes,
   const double airtime =
       frame_time(bytes) + rng_.uniform(0.0, config_.max_jitter_s);
   const Time start = reserve_tx_slot(from, airtime);
+  if (queue_wait_us_) queue_wait_us_->record((start - sim_->now()) * 1e6);
   const Time deliver_at = start + airtime;
   const bool lost = rng_.chance(config_.loss_probability);
-  sim_->schedule_at(deliver_at, [this, from, to, bucket, lost,
-                                 done = std::move(done)] {
+  sim_->schedule_tagged(deliver_at, "channel.unicast",
+                        [this, from, to, bucket, lost,
+                         done = std::move(done)] {
     // TX energy is spent whether or not the frame arrives.
     energy_->charge_tx(static_cast<std::size_t>(from), bucket);
     const bool ok = !lost && world_->can_reach(from, to);
@@ -93,8 +100,10 @@ void Channel::broadcast(NodeId from, std::size_t bytes, EnergyBucket bucket,
   const double airtime =
       frame_time(bytes) + rng_.uniform(0.0, config_.max_jitter_s);
   const Time start = reserve_tx_slot(from, airtime);
-  sim_->schedule_at(start + airtime, [this, from, bucket, range_override,
-                                      on_receive = std::move(on_receive)] {
+  if (queue_wait_us_) queue_wait_us_->record((start - sim_->now()) * 1e6);
+  sim_->schedule_tagged(start + airtime, "channel.broadcast",
+                        [this, from, bucket, range_override,
+                         on_receive = std::move(on_receive)] {
     energy_->charge_tx(static_cast<std::size_t>(from), bucket);
     for (NodeId r : world_->reachable_from(from, range_override)) {
       energy_->charge_rx(static_cast<std::size_t>(r), bucket);

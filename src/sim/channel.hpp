@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/stats_registry.hpp"
 #include "sim/energy.hpp"
 #include "sim/simulator.hpp"
 #include "sim/trace.hpp"
@@ -100,6 +101,12 @@ class Channel {
   /// nullptr to detach.
   void set_tracer(Tracer* tracer) noexcept { tracer_ = tracer; }
 
+  /// Attaches a stats registry: per-frame MAC queue waits (time between a
+  /// send request and its TX slot, µs) stream into histogram
+  /// "channel.queue_wait_us".  Pass nullptr to detach.  One branch per
+  /// frame when detached; sampling never perturbs simulation state.
+  void set_stats(StatsRegistry* registry);
+
  private:
   /// Earliest time `node` can start transmitting (its neighbourhood's
   /// medium must be free); reserves the slot for the node *and* defers
@@ -115,6 +122,7 @@ class Channel {
   std::vector<Time> busy_until_;
   std::vector<double> airtime_;
   Tracer* tracer_ = nullptr;
+  Histogram* queue_wait_us_ = nullptr;  // owned by the attached registry
 };
 
 }  // namespace refer::sim

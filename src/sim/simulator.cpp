@@ -1,12 +1,47 @@
 #include "sim/simulator.hpp"
 
 #include <cassert>
+#include <chrono>
+#include <string>
+
+#include "common/stats_registry.hpp"
 
 namespace refer::sim {
 
-void Simulator::schedule_at(Time at, EventFn fn) {
+void Simulator::schedule_tagged(Time at, const char* tag, EventFn fn) {
   assert(at >= now_);
-  queue_.push(Event{at, next_seq_++, std::move(fn)});
+  queue_.push(Event{at, next_seq_++, tag, std::move(fn)});
+  if (queue_.size() > peak_pending_) peak_pending_ = queue_.size();
+}
+
+void Simulator::set_profiler(StatsRegistry* registry) {
+  profiler_ = registry;
+  profile_cache_.clear();
+}
+
+Histogram* Simulator::profile_histogram(const char* tag) {
+  for (const auto& [t, h] : profile_cache_) {
+    if (t == tag) return h;
+  }
+  Histogram* h = &profiler_->histogram(
+      std::string("sim.event_us.") + (tag ? tag : "other"));
+  profile_cache_.emplace_back(tag, h);
+  return h;
+}
+
+void Simulator::execute(Event& ev) {
+  now_ = ev.at;
+  ++executed_;
+  if (profiler_) {
+    const auto t0 = std::chrono::steady_clock::now();
+    ev.fn();
+    const double us = std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    profile_histogram(ev.tag)->record(us);
+  } else {
+    ev.fn();
+  }
 }
 
 void Simulator::run_until(Time until) {
@@ -14,9 +49,7 @@ void Simulator::run_until(Time until) {
     // Copy out before pop: the event may schedule more events.
     Event ev = std::move(const_cast<Event&>(queue_.top()));
     queue_.pop();
-    now_ = ev.at;
-    ++executed_;
-    ev.fn();
+    execute(ev);
   }
   if (now_ < until) now_ = until;
 }
@@ -25,9 +58,7 @@ void Simulator::run_all() {
   while (!queue_.empty()) {
     Event ev = std::move(const_cast<Event&>(queue_.top()));
     queue_.pop();
-    now_ = ev.at;
-    ++executed_;
-    ev.fn();
+    execute(ev);
   }
 }
 

@@ -1,5 +1,6 @@
 #include "sim/trace.hpp"
 
+#include <cstdio>
 #include <stdexcept>
 
 namespace refer::sim {
@@ -12,8 +13,54 @@ const char* to_string(TraceEvent event) noexcept {
     case TraceEvent::kBroadcast: return "broadcast";
     case TraceEvent::kNodeDown: return "node_down";
     case TraceEvent::kNodeUp: return "node_up";
+    case TraceEvent::kPacketSent: return "packet_sent";
+    case TraceEvent::kHopForward: return "hop_forward";
+    case TraceEvent::kFailover: return "failover";
+    case TraceEvent::kPacketDropped: return "packet_dropped";
+    case TraceEvent::kPacketDelivered: return "packet_delivered";
+    case TraceEvent::kQosDeadlineMiss: return "qos_deadline_miss";
+    case TraceEvent::kTraceEventCount: break;
   }
   return "?";
+}
+
+const char* to_string(DropReason reason) noexcept {
+  switch (reason) {
+    case DropReason::kNone: return "none";
+    case DropReason::kLinkFailed: return "link_failed";
+    case DropReason::kNoActuator: return "no_actuator";
+    case DropReason::kOverlayEntryFailed: return "overlay_entry_failed";
+    case DropReason::kTtlExpired: return "ttl_expired";
+    case DropReason::kNoRoute: return "no_route";
+    case DropReason::kAllSuccessorsFailed: return "all_successors_failed";
+    case DropReason::kFloodFailed: return "flood_failed";
+    case DropReason::kDropReasonCount: break;
+  }
+  return "?";
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
 }
 
 JsonlTraceWriter::JsonlTraceWriter(const std::string& path)
@@ -30,9 +77,38 @@ JsonlTraceWriter::~JsonlTraceWriter() {
 void JsonlTraceWriter::operator()(const TraceRecord& record) {
   std::fprintf(file_,
                "{\"t\":%.6f,\"event\":\"%s\",\"from\":%d,\"to\":%d,"
-               "\"bytes\":%zu,\"bucket\":%d}\n",
+               "\"bytes\":%zu,\"bucket\":%d",
                record.t, to_string(record.event), record.from, record.to,
                record.bytes, static_cast<int>(record.bucket));
+  if (record.packet >= 0) {
+    std::fprintf(file_, ",\"packet\":%lld",
+                 static_cast<long long>(record.packet));
+  }
+  if (record.reason != DropReason::kNone) {
+    std::fprintf(file_, ",\"reason\":\"%s\"", to_string(record.reason));
+  }
+  if (record.hop_index >= 0) {
+    std::fprintf(file_, ",\"hop\":%d", record.hop_index);
+  }
+  if (record.alt_index >= 0) {
+    std::fprintf(file_, ",\"alt\":%d", record.alt_index);
+  }
+  if (record.nominal_len >= 0) {
+    std::fprintf(file_, ",\"nominal_len\":%d", record.nominal_len);
+  }
+  if (!record.at_label.empty()) {
+    std::fprintf(file_, ",\"at\":\"%s\"",
+                 json_escape(record.at_label).c_str());
+  }
+  if (!record.dst_label.empty()) {
+    std::fprintf(file_, ",\"dst\":\"%s\"",
+                 json_escape(record.dst_label).c_str());
+  }
+  if (!record.next_label.empty()) {
+    std::fprintf(file_, ",\"next\":\"%s\"",
+                 json_escape(record.next_label).c_str());
+  }
+  std::fputs("}\n", file_);
   ++written_;
 }
 

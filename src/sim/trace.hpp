@@ -1,19 +1,39 @@
 // Structured event tracing (the ns-2 trace-file equivalent).
 //
-// A Tracer receives one TraceRecord per radio event; sinks decide what to
-// do with them (count, filter, write JSONL).  Tracing is off unless a
-// sink is attached, and costs one branch per event when off.
+// A Tracer receives one TraceRecord per event; sinks decide what to do
+// with them (count, filter, write JSONL).  Tracing is off unless a sink
+// is attached, and costs one branch per event when off.
+//
+// Two event families share the stream:
+//   - frame-level events emitted by the Channel / World (kUnicast*,
+//     kBroadcast, kNode*), and
+//   - routing-level events emitted by protocol routers (kPacket*,
+//     kHopForward, kFailover, kQosDeadlineMiss), which carry a
+//     router-assigned packet id plus overlay-label context so an offline
+//     analyzer (tools/trace_report) can reconstruct per-packet hop
+//     chains and audit every Theorem-3.8 fail-over against the Kautz
+//     disjoint-route table.
 //
 //   sim::Tracer tracer;
 //   sim::JsonlTraceWriter writer("run.jsonl");
 //   tracer.set_sink(std::ref(writer));
 //   channel.set_tracer(&tracer);
+//
+// A Tracer (and any sink) is SINGLE-RUN-LOCAL: it belongs to exactly one
+// simulation run and is only ever used from the thread executing that
+// run.  Under the parallel executor every (system, x, seed) job builds
+// its own Deployment and therefore its own Tracer; sharing one tracer
+// across jobs would interleave unrelated runs and race on the sink.
+// Debug builds assert that all emits come from one thread.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <cstdio>
 #include <functional>
 #include <string>
+#include <string_view>
+#include <thread>
 
 #include "sim/energy.hpp"
 #include "sim/world.hpp"
@@ -27,17 +47,52 @@ enum class TraceEvent {
   kBroadcast,         ///< broadcast frame put on the air
   kNodeDown,          ///< node became faulty
   kNodeUp,            ///< node recovered
+  // Routing-level events (emitted by routers, not the channel).
+  kPacketSent,       ///< a packet entered the router
+  kHopForward,       ///< one packet-carrying hop succeeded
+  kFailover,         ///< relay switched to an alternate successor
+  kPacketDropped,    ///< packet terminated undelivered (see DropReason)
+  kPacketDelivered,  ///< packet reached its destination
+  kQosDeadlineMiss,  ///< delivered, but after the QoS deadline
+  /// Sentinel: number of event kinds.  Always keep last; counting sinks
+  /// size their arrays from it so adding an event cannot read out of
+  /// bounds.
+  kTraceEventCount,
+};
+
+/// Why a router dropped a packet (kPacketDropped records).
+enum class DropReason {
+  kNone,                 ///< not a drop record
+  kLinkFailed,           ///< a physical transfer failed with no recourse
+  kNoActuator,           ///< no alive actuator to route towards
+  kOverlayEntryFailed,   ///< greedy walk never reached an overlay member
+  kTtlExpired,           ///< hop budget exhausted
+  kNoRoute,              ///< no routable target (corner / CAN / bad dst)
+  kAllSuccessorsFailed,  ///< every Theorem-3.8 alternative failed
+  kFloodFailed,          ///< route-generation flood found no path
+  kDropReasonCount,      ///< sentinel; keep last
 };
 
 [[nodiscard]] const char* to_string(TraceEvent event) noexcept;
+[[nodiscard]] const char* to_string(DropReason reason) noexcept;
 
 struct TraceRecord {
   double t = 0;
   TraceEvent event = TraceEvent::kUnicastQueued;
   NodeId from = -1;
-  NodeId to = -1;  ///< -1 for broadcasts / node events
+  NodeId to = -1;  ///< -1 for broadcasts / node / packet-scoped events
   std::size_t bytes = 0;
   EnergyBucket bucket = EnergyBucket::kData;
+  // Routing-level context (packet-scoped events only; defaults mean
+  // "absent" and are omitted from JSONL output).
+  std::int64_t packet = -1;  ///< router-assigned packet id
+  DropReason reason = DropReason::kNone;
+  int hop_index = -1;    ///< overlay (Kautz) hops completed so far
+  int alt_index = -1;    ///< failover: index into the alternative list
+  int nominal_len = -1;  ///< failover: Theorem 3.8 nominal path length
+  std::string at_label;    ///< current node's overlay label
+  std::string dst_label;   ///< intra-cell routing target label
+  std::string next_label;  ///< chosen successor's overlay label
 };
 
 /// Dispatch point; protocols and the channel emit through this.
@@ -45,21 +100,43 @@ class Tracer {
  public:
   using Sink = std::function<void(const TraceRecord&)>;
 
-  void set_sink(Sink sink) { sink_ = std::move(sink); }
+  void set_sink(Sink sink) {
+    sink_ = std::move(sink);
+#ifndef NDEBUG
+    owner_ = std::thread::id{};  // rebinds to the next emitting thread
+#endif
+  }
   void clear_sink() { sink_ = nullptr; }
   [[nodiscard]] bool enabled() const noexcept {
     return static_cast<bool>(sink_);
   }
 
   void emit(const TraceRecord& record) {
-    if (sink_) sink_(record);
+    if (!sink_) return;
+#ifndef NDEBUG
+    if (owner_ == std::thread::id{}) owner_ = std::this_thread::get_id();
+    assert(owner_ == std::this_thread::get_id() &&
+           "Tracer is single-run-local: each parallel job must own its "
+           "tracer (see Deployment in harness/experiment.cpp)");
+#endif
+    sink_(record);
   }
 
  private:
   Sink sink_;
+#ifndef NDEBUG
+  std::thread::id owner_;
+#endif
 };
 
+/// Escapes a string for embedding in a JSON string literal (quotes,
+/// backslashes, control characters).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
 /// Writes records as JSON lines: one object per event, machine-parsable.
+/// Frame-level keys (t/event/from/to/bytes/bucket) are always present;
+/// routing-level keys (packet/reason/hop/alt/nominal_len/at/dst/next)
+/// appear only on records that set them.
 class JsonlTraceWriter {
  public:
   /// Opens `path` for writing; throws std::runtime_error on failure.
@@ -90,7 +167,8 @@ class CountingTraceSink {
   }
 
  private:
-  std::uint64_t counts_[6] = {};
+  std::uint64_t counts_[static_cast<std::size_t>(
+      TraceEvent::kTraceEventCount)] = {};
 };
 
 }  // namespace refer::sim

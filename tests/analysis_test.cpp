@@ -1,0 +1,240 @@
+// Tests for the offline trace analyzer: the flat JSONL parser, the
+// schema / chain / Theorem 3.8 audits on synthetic traces, and an
+// end-to-end run over a real REFER trace.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "analysis/jsonl.hpp"
+#include "analysis/trace_report.hpp"
+#include "harness/experiment.hpp"
+
+namespace refer::analysis {
+namespace {
+
+TEST(JsonlParser, ParsesFlatObjects) {
+  const auto obj = parse_flat_object(
+      R"({"t":1.25,"event":"hop_forward","from":-1,"ok":true,"x":null,)"
+      R"("at":"a\"b\\c\n"})");
+  ASSERT_TRUE(obj.has_value());
+  EXPECT_EQ(obj->at("t").kind, JsonValue::Kind::kNumber);
+  EXPECT_DOUBLE_EQ(obj->at("t").number, 1.25);
+  EXPECT_EQ(obj->at("event").str, "hop_forward");
+  EXPECT_DOUBLE_EQ(obj->at("from").number, -1.0);
+  EXPECT_EQ(obj->at("ok").kind, JsonValue::Kind::kBool);
+  EXPECT_TRUE(obj->at("ok").boolean);
+  EXPECT_EQ(obj->at("x").kind, JsonValue::Kind::kNull);
+  EXPECT_EQ(obj->at("at").str, "a\"b\\c\n");
+}
+
+TEST(JsonlParser, ParsesUnicodeEscapesAndEmptyObject) {
+  const auto obj = parse_flat_object(R"({"s":"x\u0001y"})");
+  ASSERT_TRUE(obj.has_value());
+  EXPECT_EQ(obj->at("s").str, std::string("x\x01y"));
+  const auto empty = parse_flat_object("  { }  ");
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_TRUE(empty->empty());
+}
+
+TEST(JsonlParser, RejectsNestedAndMalformed) {
+  EXPECT_FALSE(parse_flat_object(R"({"a":{"b":1}})").has_value());
+  EXPECT_FALSE(parse_flat_object(R"({"a":[1,2]})").has_value());
+  EXPECT_FALSE(parse_flat_object(R"({"a":1)").has_value());
+  EXPECT_FALSE(parse_flat_object(R"({"a" 1})").has_value());
+  EXPECT_FALSE(parse_flat_object(R"({"a":1} trailing)").has_value());
+  EXPECT_FALSE(parse_flat_object("not json").has_value());
+  EXPECT_FALSE(parse_flat_object(R"({"a":tru})").has_value());
+  EXPECT_FALSE(parse_flat_object(R"({"a":"unterminated)").has_value());
+}
+
+// --- Synthetic-trace audits.  K(2,3) facts used below: from at=012 to
+// dst=201 (overlap l=1) Theorem 3.8 yields successors 120 (shortest,
+// nominal 2) and 121 (conflict, nominal 5).
+
+std::string base_packet(const char* rest) {
+  return std::string(
+             R"({"t":0.0,"event":"packet_sent","from":1,"to":-1,)"
+             R"("bytes":100,"bucket":0,"packet":0,"hop":0})") +
+         "\n" + rest;
+}
+
+TEST(TraceReport, AcceptsAValidTheorem38Failover) {
+  std::istringstream in(base_packet(
+      R"({"t":0.1,"event":"failover","from":1,"to":-1,"bytes":100,)"
+      R"("bucket":0,"packet":0,"hop":0,"alt":1,"nominal_len":5,)"
+      R"("at":"012","dst":"201","next":"121"})"
+      "\n"));
+  const TraceReport r = analyze_trace(in);
+  EXPECT_EQ(r.degree, 2);
+  EXPECT_EQ(r.failovers, 1u);
+  EXPECT_EQ(r.failovers_checked, 1u);
+  EXPECT_EQ(r.failover_mismatches, 0u);
+  EXPECT_EQ(r.violations(), 0u);
+}
+
+TEST(TraceReport, DetectsForgedNominalLength) {
+  std::istringstream in(base_packet(
+      R"({"t":0.1,"event":"failover","from":1,"to":-1,"bytes":100,)"
+      R"("bucket":0,"packet":0,"hop":0,"alt":1,"nominal_len":9,)"
+      R"("at":"012","dst":"201","next":"121"})"
+      "\n"));
+  const TraceReport r = analyze_trace(in);
+  EXPECT_EQ(r.failovers_checked, 1u);
+  EXPECT_EQ(r.failover_mismatches, 1u);
+  EXPECT_GT(r.violations(), 0u);
+}
+
+TEST(TraceReport, DetectsNonDisjointRouteSuccessor) {
+  // 210 is not a successor of 012 at all.
+  std::istringstream in(base_packet(
+      R"({"t":0.1,"event":"failover","from":1,"to":-1,"bytes":100,)"
+      R"("bucket":0,"packet":0,"hop":0,"alt":1,"nominal_len":2,)"
+      R"("at":"012","dst":"201","next":"210"})"
+      "\n"));
+  const TraceReport r = analyze_trace(in);
+  EXPECT_EQ(r.failover_mismatches, 1u);
+}
+
+TEST(TraceReport, DetectsPathLongerThanNominal) {
+  // Valid fail-over to the shortest route (nominal 2), but the packet
+  // then wanders for 4 hops before reaching dst: observed > nominal.
+  std::istringstream in(base_packet(
+      R"({"t":0.1,"event":"failover","from":1,"to":-1,"bytes":100,)"
+      R"("bucket":0,"packet":0,"hop":0,"alt":1,"nominal_len":2,)"
+      R"("at":"012","dst":"201","next":"120"})"
+      "\n"
+      R"({"t":0.2,"event":"hop_forward","from":1,"to":2,"bytes":100,)"
+      R"("bucket":0,"packet":0,"hop":1,"at":"012","dst":"201","next":"120"})"
+      "\n"
+      R"({"t":0.3,"event":"hop_forward","from":2,"to":1,"bytes":100,)"
+      R"("bucket":0,"packet":0,"hop":2,"at":"120","dst":"201","next":"201"})"
+      "\n"));
+  // First check the clean 2-hop completion passes...
+  const TraceReport clean = analyze_trace(in);
+  EXPECT_EQ(clean.failover_mismatches, 0u);
+  EXPECT_EQ(clean.path_length_violations, 0u);
+
+  std::istringstream wander(base_packet(
+      R"({"t":0.1,"event":"failover","from":1,"to":-1,"bytes":100,)"
+      R"("bucket":0,"packet":0,"hop":0,"alt":1,"nominal_len":2,)"
+      R"("at":"012","dst":"201","next":"120"})"
+      "\n"
+      R"({"t":0.2,"event":"hop_forward","from":1,"to":2,"bytes":100,)"
+      R"("bucket":0,"packet":0,"hop":1,"at":"012","dst":"201","next":"120"})"
+      "\n"
+      R"({"t":0.3,"event":"hop_forward","from":2,"to":1,"bytes":100,)"
+      R"("bucket":0,"packet":0,"hop":2,"at":"120","dst":"201","next":"012"})"
+      "\n"
+      R"({"t":0.4,"event":"hop_forward","from":1,"to":2,"bytes":100,)"
+      R"("bucket":0,"packet":0,"hop":3,"at":"012","dst":"201","next":"120"})"
+      "\n"
+      R"({"t":0.5,"event":"hop_forward","from":2,"to":3,"bytes":100,)"
+      R"("bucket":0,"packet":0,"hop":4,"at":"120","dst":"201","next":"201"})"
+      "\n"));
+  const TraceReport r = analyze_trace(wander);
+  EXPECT_EQ(r.failover_mismatches, 0u);
+  EXPECT_EQ(r.path_length_violations, 1u);
+}
+
+TEST(TraceReport, FlagsSchemaViolations) {
+  std::istringstream in(
+      // Routing event without a packet id.
+      R"({"t":1,"event":"hop_forward","from":1,"to":2,"bytes":0,"bucket":0})"
+      "\n"
+      // Fail-over without an alt index.
+      R"({"t":2,"event":"failover","from":1,"to":-1,"bytes":0,"bucket":0,)"
+      R"("packet":7})"
+      "\n"
+      // Drop without a reason.
+      R"({"t":3,"event":"packet_dropped","from":-1,"to":-1,"bytes":0,)"
+      R"("bucket":0,"packet":7})"
+      "\n"
+      // Unknown event name.
+      R"({"t":4,"event":"warp_drive","from":1,"to":2,"bytes":0,"bucket":0})"
+      "\n"
+      // Unparsable line.
+      "{{{\n"
+      // And one fine frame-level record.
+      R"({"t":5,"event":"broadcast","from":3,"to":-1,"bytes":64,"bucket":1})"
+      "\n"
+      // QoS miss without a packet id (baseline systems): fine, counted.
+      R"({"t":6,"event":"qos_deadline_miss","from":2,"to":-1,"bytes":0,)"
+      R"("bucket":0})"
+      "\n");
+  const TraceReport r = analyze_trace(in);
+  EXPECT_EQ(r.lines, 7u);
+  EXPECT_EQ(r.parse_errors, 1u);
+  EXPECT_EQ(r.schema_errors, 4u);
+  EXPECT_EQ(r.qos_misses, 1u);
+  EXPECT_GT(r.violations(), 0u);
+}
+
+TEST(TraceReport, DetectsChainBreaksAndInvalidArcs) {
+  std::istringstream in(base_packet(
+      R"({"t":0.2,"event":"hop_forward","from":1,"to":2,"bytes":100,)"
+      R"("bucket":0,"packet":0,"hop":1})"
+      "\n"
+      // from=5 but the previous hop ended at node 2: chain break.
+      R"({"t":0.3,"event":"hop_forward","from":5,"to":6,"bytes":100,)"
+      R"("bucket":0,"packet":0,"hop":2})"
+      "\n"
+      // 012 -> 021 is not a Kautz arc (prefix must be the suffix).
+      R"({"t":0.4,"event":"hop_forward","from":6,"to":7,"bytes":100,)"
+      R"("bucket":0,"packet":0,"hop":3,"at":"012","dst":"201","next":"021"})"
+      "\n"
+      R"({"t":0.5,"event":"packet_delivered","from":7,"to":-1,"bytes":100,)"
+      R"("bucket":0,"packet":0,"hop":3})"
+      "\n"));
+  const TraceReport r = analyze_trace(in);
+  EXPECT_EQ(r.packets_delivered, 1u);
+  EXPECT_EQ(r.chain_breaks, 1u);
+  EXPECT_EQ(r.arc_violations, 1u);
+}
+
+TEST(TraceReport, MissingFileReportsViolation) {
+  const TraceReport r =
+      analyze_trace_file("/nonexistent-dir/nope.jsonl", {});
+  EXPECT_EQ(r.lines, 0u);
+  EXPECT_GT(r.violations(), 0u);
+}
+
+TEST(TraceReport, EndToEndReferTraceAuditsClean) {
+  // Run a real REFER simulation with faults (to force fail-overs) and
+  // audit its trace: every recorded Theorem 3.8 decision must re-derive
+  // offline, hop chains must connect, and the schema must hold.
+  harness::Scenario sc;
+  sc.warmup_s = 5;
+  sc.measure_s = 30;
+  sc.packets_per_second = 4;
+  sc.seed = 11;
+  sc.faulty_nodes = 25;
+  sc.trace_path = ::testing::TempDir() + "analysis_e2e.jsonl";
+  const harness::RunMetrics m =
+      harness::run_once(harness::SystemKind::kRefer, sc);
+  ASSERT_TRUE(m.build_ok);
+
+  const TraceReport r = analyze_trace_file(sc.trace_path, {});
+  EXPECT_GT(r.lines, 0u);
+  EXPECT_EQ(r.parse_errors, 0u);
+  EXPECT_EQ(r.schema_errors, 0u);
+  EXPECT_EQ(r.degree, 2);  // the paper's K(2,3) cells
+  // The trace also covers warmup traffic, so >= the windowed metrics.
+  EXPECT_GE(r.packets_sent, m.packets_sent);
+  EXPECT_GE(r.packets_delivered, m.packets_delivered);
+  EXPECT_GT(r.packets_delivered, 0u);
+  // Faults + mobility must have exercised the fail-over machinery, and
+  // every audited decision must check out against kautz::disjoint_routes.
+  EXPECT_GT(r.failovers, 0u);
+  EXPECT_GT(r.failovers_checked, 0u);
+  EXPECT_EQ(r.failover_mismatches, 0u);
+  EXPECT_EQ(r.path_length_violations, 0u);
+  EXPECT_EQ(r.chain_breaks, 0u);
+  EXPECT_EQ(r.arc_violations, 0u);
+  EXPECT_EQ(r.violations(), 0u);
+  std::remove(sc.trace_path.c_str());
+}
+
+}  // namespace
+}  // namespace refer::analysis

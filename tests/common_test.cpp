@@ -3,11 +3,13 @@
 
 #include <cmath>
 #include <set>
+#include <string>
 
 #include "common/geometry.hpp"
 #include "common/logging.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
+#include "common/stats_registry.hpp"
 #include "common/strings.hpp"
 
 namespace refer {
@@ -258,6 +260,78 @@ TEST(Logging, LevelRoundTrip) {
   EXPECT_EQ(log_level(), LogLevel::kError);
   log_debug("suppressed %d", 1);  // must not crash, must be filtered
   set_log_level(prev);
+}
+
+TEST(StatsRegistry, CountersAccumulateAndSnapshotSorted) {
+  StatsRegistry registry;
+  registry.counter("b.second").add(2);
+  registry.counter("a.first").add();
+  registry.counter("b.second").add(3);
+  const auto snap = registry.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].name, "a.first");
+  EXPECT_FALSE(snap[0].is_histogram);
+  EXPECT_EQ(snap[0].count, 1u);
+  EXPECT_EQ(snap[1].name, "b.second");
+  EXPECT_EQ(snap[1].count, 5u);
+}
+
+TEST(StatsRegistry, ReferencesStayStableAcrossInsertions) {
+  StatsRegistry registry;
+  Counter& c = registry.counter("hot.path");
+  Histogram& h = registry.histogram("hot.hist");
+  for (int i = 0; i < 100; ++i) {
+    registry.counter("filler." + std::to_string(i)).add(1);
+    registry.histogram("hfiller." + std::to_string(i)).record(1.0);
+  }
+  c.add(7);
+  h.record(1.0);
+  EXPECT_EQ(registry.counter("hot.path").value(), 7u);
+  EXPECT_EQ(registry.histogram("hot.hist").count(), 1u);
+}
+
+TEST(Histogram, ExactMomentsAndApproximateQuantiles) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.record(i);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.sum(), 5050.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+  // Geometric buckets: 4 per octave => ~19% relative resolution.
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 50.0 * 0.25);
+  EXPECT_NEAR(h.quantile(0.99), 99.0, 99.0 * 0.25);
+  // Quantiles clamp to the exact extremes.
+  EXPECT_GE(h.quantile(0.0), 1.0);
+  EXPECT_LE(h.quantile(1.0), 100.0);
+}
+
+TEST(Histogram, EmptyAndEdgeSamples) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  // Zero / negative / huge samples clamp into edge buckets, never UB.
+  h.record(0.0);
+  h.record(-5.0);
+  h.record(1e300);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.min(), -5.0);
+  EXPECT_DOUBLE_EQ(h.max(), 1e300);
+}
+
+TEST(StatsRegistry, HistogramSnapshotCarriesQuantiles) {
+  StatsRegistry registry;
+  Histogram& h = registry.histogram("delay");
+  for (int i = 0; i < 1000; ++i) h.record(10.0);
+  const auto snap = registry.snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_TRUE(snap[0].is_histogram);
+  EXPECT_EQ(snap[0].count, 1000u);
+  EXPECT_DOUBLE_EQ(snap[0].sum, 10000.0);
+  EXPECT_NEAR(snap[0].p50, 10.0, 10.0 * 0.2);
+  EXPECT_NEAR(snap[0].p99, 10.0, 10.0 * 0.2);
 }
 
 }  // namespace

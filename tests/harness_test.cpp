@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <string>
 
 #include "harness/experiment.hpp"
 
@@ -169,6 +170,68 @@ TEST(Harness, TimelineBucketsSumToTotal) {
 TEST(Harness, TimelineOffByDefault) {
   const RunMetrics m = run_once(SystemKind::kRefer, quick_scenario());
   EXPECT_TRUE(m.qos_timeline_kbps.empty());
+}
+
+TEST(Harness, ObservabilitySnapshotCoversRouterChannelAndKernel) {
+  const RunMetrics m = run_once(SystemKind::kRefer, quick_scenario());
+  ASSERT_TRUE(m.build_ok);
+  ASSERT_FALSE(m.observability.empty());
+  auto find = [&](const std::string& name) -> const StatsRegistry::Entry* {
+    for (const StatsRegistry::Entry& e : m.observability) {
+      if (e.name == name) return &e;
+    }
+    return nullptr;
+  };
+  const auto* sent = find("router.packets_sent");
+  ASSERT_NE(sent, nullptr);
+  EXPECT_FALSE(sent->is_histogram);
+  // The router counts warmup traffic too; the metric only the window.
+  EXPECT_GE(sent->count, m.packets_sent);
+  const auto* delay = find("delivery.delay_ms");
+  ASSERT_NE(delay, nullptr);
+  EXPECT_TRUE(delay->is_histogram);
+  EXPECT_EQ(delay->count, m.packets_delivered);
+  EXPECT_GT(delay->p50, 0.0);
+  ASSERT_NE(find("delivery.failovers"), nullptr);
+  ASSERT_NE(find("channel.unicasts_sent"), nullptr);
+  const auto* queue_wait = find("channel.queue_wait_us");
+  ASSERT_NE(queue_wait, nullptr);
+  EXPECT_TRUE(queue_wait->is_histogram);
+  EXPECT_GT(queue_wait->count, 0u);
+  const auto* events = find("sim.events_executed");
+  ASSERT_NE(events, nullptr);
+  EXPECT_GT(events->count, 0u);
+  const auto* peak = find("sim.peak_queue_depth");
+  ASSERT_NE(peak, nullptr);
+  EXPECT_GT(peak->count, 0u);
+  // Snapshot order is deterministic: sorted by name.
+  for (std::size_t i = 1; i < m.observability.size(); ++i) {
+    EXPECT_LT(m.observability[i - 1].name, m.observability[i].name);
+  }
+}
+
+TEST(Harness, ProfileAttachesKernelHistograms) {
+  Scenario sc = quick_scenario();
+  sc.measure_s = 10;
+  sc.profile = true;
+  const RunMetrics m = run_once(SystemKind::kRefer, sc);
+  ASSERT_TRUE(m.build_ok);
+  bool found = false;
+  for (const StatsRegistry::Entry& e : m.observability) {
+    if (e.name.rfind("sim.event_us.", 0) == 0) {
+      found = true;
+      EXPECT_TRUE(e.is_histogram);
+      EXPECT_GT(e.count, 0u);
+    }
+  }
+  EXPECT_TRUE(found) << "profile=true must produce kernel histograms";
+}
+
+TEST(Harness, ProfileOffProducesNoKernelHistograms) {
+  const RunMetrics m = run_once(SystemKind::kRefer, quick_scenario());
+  for (const StatsRegistry::Entry& e : m.observability) {
+    EXPECT_NE(e.name.rfind("sim.event_us.", 0), 0u) << e.name;
+  }
 }
 
 TEST(Harness, StripActuatorPlacementWorks) {

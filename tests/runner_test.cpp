@@ -7,6 +7,8 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <iterator>
 #include <limits>
 #include <sstream>
@@ -216,6 +218,52 @@ TEST(ParallelExecutor, RunRepeatedMatchesSerial) {
   EXPECT_EQ(parallel.records().size(), 3u);
 }
 
+TEST(ParallelExecutor, TracedRunsAreBitIdenticalSerialVsParallel) {
+  // The satellite guarantee of the observability layer: attaching traces
+  // must not perturb the simulation.  Serial and parallel traced runs of
+  // the same scenario must agree on every aggregate AND produce
+  // byte-identical per-job trace files (each job owns its tracer and its
+  // file name is a pure function of (system, x, rep)).
+  namespace fs = std::filesystem;
+  const fs::path base = fs::path(::testing::TempDir()) / "traced_runs";
+  const fs::path dir_serial = base / "serial";
+  const fs::path dir_parallel = base / "parallel";
+  fs::create_directories(dir_serial);
+  fs::create_directories(dir_parallel);
+
+  harness::Scenario sc = small_scenario();
+  sc.measure_s = 8;
+  harness::Scenario sc_serial = sc;
+  sc_serial.trace_dir = dir_serial.string();
+  harness::Scenario sc_parallel = sc;
+  sc_parallel.trace_dir = dir_parallel.string();
+
+  ParallelExecutor serial(1);
+  ParallelExecutor parallel(3);
+  const auto a =
+      serial.run_repeated(harness::SystemKind::kRefer, sc_serial, 2);
+  const auto b =
+      parallel.run_repeated(harness::SystemKind::kRefer, sc_parallel, 2);
+  expect_aggregate_eq(a, b);
+
+  auto slurp = [](const fs::path& p) {
+    std::ifstream in(p, std::ios::binary);
+    EXPECT_TRUE(in.is_open()) << p;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+  };
+  for (int rep = 0; rep < 2; ++rep) {
+    const std::string name = "REFER_x0_rep" + std::to_string(rep) + ".jsonl";
+    const std::string serial_trace = slurp(dir_serial / name);
+    const std::string parallel_trace = slurp(dir_parallel / name);
+    EXPECT_FALSE(serial_trace.empty());
+    EXPECT_EQ(serial_trace, parallel_trace)
+        << name << " differs between serial and parallel execution";
+  }
+  fs::remove_all(base);
+}
+
 TEST(ParallelExecutor, RunOnceRecords) {
   ParallelExecutor ex(1);
   harness::Scenario sc = small_scenario();
@@ -245,7 +293,12 @@ TEST(ResultsWriter, EmitsSchemaValidDocument) {
   writer.add_series("x", points);
 
   const std::string doc = writer.to_json();
-  EXPECT_NE(doc.find("\"schema_version\":1"), std::string::npos);
+  EXPECT_NE(doc.find("\"schema_version\":2"), std::string::npos);
+  EXPECT_NE(doc.find("\"observability\":["), std::string::npos);
+  EXPECT_NE(doc.find("\"kind\":\"counter\""), std::string::npos);
+  EXPECT_NE(doc.find("\"kind\":\"histogram\""), std::string::npos);
+  EXPECT_NE(doc.find("\"name\":\"router.packets_sent\""), std::string::npos);
+  EXPECT_NE(doc.find("\"name\":\"delivery.delay_ms\""), std::string::npos);
   EXPECT_NE(doc.find("\"tool\":\"referbench\""), std::string::npos);
   EXPECT_NE(doc.find("\"benchmark\":\"unit_test\""), std::string::npos);
   EXPECT_NE(doc.find("\"git\":"), std::string::npos);

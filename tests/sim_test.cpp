@@ -2,8 +2,12 @@
 // energy, world, channel.
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
+#include "common/stats_registry.hpp"
 #include "sim/channel.hpp"
 #include "sim/energy.hpp"
 #include "sim/mobility.hpp"
@@ -487,9 +491,112 @@ TEST_F(WorldTest, LivenessFlipsEmitTraceEvents) {
 }
 
 TEST(TraceEventNames, AreStable) {
+  // The JSONL schema is a contract with tools/trace_report: renaming an
+  // event string silently breaks the offline analyzer.
   EXPECT_STREQ(to_string(TraceEvent::kUnicastQueued), "unicast_queued");
   EXPECT_STREQ(to_string(TraceEvent::kBroadcast), "broadcast");
   EXPECT_STREQ(to_string(TraceEvent::kNodeDown), "node_down");
+  EXPECT_STREQ(to_string(TraceEvent::kPacketSent), "packet_sent");
+  EXPECT_STREQ(to_string(TraceEvent::kHopForward), "hop_forward");
+  EXPECT_STREQ(to_string(TraceEvent::kFailover), "failover");
+  EXPECT_STREQ(to_string(TraceEvent::kPacketDropped), "packet_dropped");
+  EXPECT_STREQ(to_string(TraceEvent::kPacketDelivered), "packet_delivered");
+  EXPECT_STREQ(to_string(TraceEvent::kQosDeadlineMiss), "qos_deadline_miss");
+  EXPECT_STREQ(to_string(DropReason::kTtlExpired), "ttl_expired");
+  EXPECT_STREQ(to_string(DropReason::kAllSuccessorsFailed),
+               "all_successors_failed");
+}
+
+TEST(CountingTraceSink, CountsEveryEventKindIncludingTheLast) {
+  // Regression for the hardcoded counts_[6]: the sink's array is sized
+  // from the kTraceEventCount sentinel, so the newest event kind (the
+  // one just before the sentinel) must count without corruption.
+  CountingTraceSink sink;
+  for (int i = 0; i < static_cast<int>(TraceEvent::kTraceEventCount); ++i) {
+    TraceRecord rec;
+    rec.event = static_cast<TraceEvent>(i);
+    sink(rec);
+  }
+  for (int i = 0; i < static_cast<int>(TraceEvent::kTraceEventCount); ++i) {
+    EXPECT_EQ(sink.count(static_cast<TraceEvent>(i)), 1u);
+  }
+}
+
+TEST(JsonEscape, HandlesQuotesBackslashesAndControlChars) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc\r"), "a\\nb\\tc\\r");
+  EXPECT_EQ(json_escape(std::string("x\x01y")), "x\\u0001y");
+}
+
+TEST(JsonlTraceWriter, ThrowsWhenPathCannotBeOpened) {
+  EXPECT_THROW(JsonlTraceWriter("/nonexistent-dir/trace.jsonl"),
+               std::runtime_error);
+}
+
+TEST(JsonlTraceWriter, RoutingRecordsCarryPacketContext) {
+  const std::string path = ::testing::TempDir() + "routing_trace.jsonl";
+  {
+    JsonlTraceWriter writer(path);
+    TraceRecord hop;
+    hop.t = 1.5;
+    hop.event = TraceEvent::kHopForward;
+    hop.from = 3;
+    hop.to = 7;
+    hop.packet = 42;
+    hop.hop_index = 2;
+    hop.at_label = "012";
+    hop.dst_label = "120";
+    hop.next_label = "120";
+    writer(hop);
+    TraceRecord drop;
+    drop.event = TraceEvent::kPacketDropped;
+    drop.packet = 43;
+    drop.reason = DropReason::kTtlExpired;
+    writer(drop);
+    // A frame-level record must NOT grow routing keys.
+    TraceRecord frame;
+    frame.event = TraceEvent::kUnicastQueued;
+    writer(frame);
+    EXPECT_EQ(writer.records_written(), 3u);
+  }
+  std::ifstream in(path);
+  std::string hop_line, drop_line, frame_line;
+  ASSERT_TRUE(std::getline(in, hop_line));
+  ASSERT_TRUE(std::getline(in, drop_line));
+  ASSERT_TRUE(std::getline(in, frame_line));
+  EXPECT_NE(hop_line.find("\"event\":\"hop_forward\""), std::string::npos);
+  EXPECT_NE(hop_line.find("\"packet\":42"), std::string::npos);
+  EXPECT_NE(hop_line.find("\"hop\":2"), std::string::npos);
+  EXPECT_NE(hop_line.find("\"at\":\"012\""), std::string::npos);
+  EXPECT_NE(hop_line.find("\"dst\":\"120\""), std::string::npos);
+  EXPECT_NE(hop_line.find("\"next\":\"120\""), std::string::npos);
+  EXPECT_NE(drop_line.find("\"reason\":\"ttl_expired\""), std::string::npos);
+  EXPECT_EQ(frame_line.find("\"packet\""), std::string::npos);
+  EXPECT_EQ(frame_line.find("\"at\""), std::string::npos);
+}
+
+TEST(SimulatorObservability, TracksPeakQueueDepth) {
+  Simulator sim;
+  EXPECT_EQ(sim.peak_pending(), 0u);
+  for (int i = 0; i < 5; ++i) sim.schedule_at(1.0 + i, [] {});
+  EXPECT_EQ(sim.peak_pending(), 5u);
+  sim.run_all();
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_EQ(sim.peak_pending(), 5u);  // high-water mark survives draining
+}
+
+TEST(SimulatorObservability, ProfilerRecordsPerTagHistograms) {
+  Simulator sim;
+  StatsRegistry registry;
+  sim.set_profiler(&registry);
+  sim.schedule_tagged(1.0, "tick", [] {});
+  sim.schedule_tagged(2.0, "tick", [] {});
+  sim.schedule_at(3.0, [] {});  // untagged -> "other"
+  sim.run_all();
+  EXPECT_EQ(registry.histogram("sim.event_us.tick").count(), 2u);
+  EXPECT_EQ(registry.histogram("sim.event_us.other").count(), 1u);
 }
 
 }  // namespace

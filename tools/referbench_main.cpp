@@ -32,6 +32,8 @@ void print_usage(std::FILE* out) {
                "  --jobs N        parallel jobs; 0 = one per core (default 1)\n"
                "  --csv PREFIX    also write PREFIX_<metric>.csv\n"
                "  --json PATH     write a structured results document\n"
+               "  --trace DIR     write per-job JSONL traces to DIR/<bench>/\n"
+               "  --profile       kernel profiler (per-event-tag wall-time)\n"
                "  --quick         reps=1, measure=45 (smoke runs)\n"
                "  --full          reps=5, measure=200 (paper-closer scale)\n");
 }
