@@ -43,9 +43,10 @@ bool is_routing_event(const std::string& event) {
 }
 
 bool is_known_event(const std::string& event) {
-  return is_routing_event(event) || event == "unicast_queued" ||
-         event == "unicast_delivered" || event == "unicast_failed" ||
-         event == "broadcast" || event == "node_down" || event == "node_up";
+  return is_routing_event(event) || event == "trace_header" ||
+         event == "unicast_queued" || event == "unicast_delivered" ||
+         event == "unicast_failed" || event == "broadcast" ||
+         event == "node_down" || event == "node_up";
 }
 
 /// Folds one parsed record into the report; returns false on a schema
@@ -55,6 +56,14 @@ bool ingest(TraceReport& report, const JsonObject& obj) {
   if (event.empty() || !has_number(obj, "t")) return false;
   ++report.events_by_type[event];
   if (!is_known_event(event)) return false;
+  if (event == "trace_header") {
+    // Run metadata written once at build time: the overlay's Kautz
+    // degree d, authoritative for the Theorem 3.8 audit.
+    const int d = static_cast<int>(num_or(obj, "degree", -1));
+    if (d < 2) return false;
+    report.header_degree = d;
+    return true;
+  }
   if (!is_routing_event(event)) return true;
 
   // Routing events are packet-scoped: the id is mandatory -- except for
@@ -123,9 +132,10 @@ int max_label_digit(const std::string& label) {
   return d;
 }
 
-/// d of K(d, k): the labels use the alphabet {0..d}, so the largest
-/// digit seen anywhere *is* d (assuming the run exercised it, which any
-/// non-trivial trace does; --degree overrides otherwise).
+/// Fallback for traces without a trace_header record: the labels use
+/// the alphabet {0..d}, so the largest digit seen anywhere *is* d --
+/// but only if the run's traffic exercised it, which a short or
+/// low-traffic trace may not.  Prefer the header degree or --degree.
 int infer_degree(const TraceReport& report) {
   int d = -1;
   for (const auto& [id, pkt] : report.packets) {
@@ -237,7 +247,10 @@ TraceReport analyze_trace(std::istream& in, const TraceReportOptions& opts) {
     }
     if (!ingest(report, *obj)) ++report.schema_errors;
   }
-  report.degree = opts.degree > 0 ? opts.degree : infer_degree(report);
+  report.degree = opts.degree > 0
+                      ? opts.degree
+                      : (report.header_degree > 0 ? report.header_degree
+                                                  : infer_degree(report));
   audit_chains(report);
   audit_failovers(report);
   return report;

@@ -26,8 +26,9 @@
 namespace refer::analysis {
 
 struct TraceReportOptions {
-  /// Kautz degree d for the Theorem 3.8 audit; 0 infers it from the
-  /// largest digit seen in any overlay label.
+  /// Kautz degree d for the Theorem 3.8 audit; 0 takes the degree from
+  /// the trace's header record, falling back (for header-less traces)
+  /// to the largest digit seen in any overlay label.
   int degree = 0;
   /// How many per-packet fail-over chains print_report shows.
   std::size_t max_chains = 3;
@@ -85,7 +86,8 @@ struct TraceReport {
   std::uint64_t path_length_violations = 0;  ///< observed > nominal
   std::uint64_t chain_breaks = 0;            ///< hop chain discontinuity
   std::uint64_t arc_violations = 0;          ///< labelled hop not a Kautz arc
-  int degree = 0;  ///< d used for the audit (given or inferred)
+  int header_degree = 0;  ///< d from a trace_header record (0: absent)
+  int degree = 0;  ///< d used for the audit (given, header, or inferred)
 
   std::map<long long, PacketTrace> packets;
 

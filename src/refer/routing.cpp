@@ -28,6 +28,15 @@ void ReferRouter::send_to(NodeId src, FullId dst, std::size_t bytes,
   start(src, dst, /*stop_at_any_actuator=*/false, bytes, std::move(done));
 }
 
+void ReferRouter::emit_trace_header() {
+  if (!tracing()) return;
+  sim::TraceRecord rec;
+  rec.t = sim_->now();
+  rec.event = sim::TraceEvent::kTraceHeader;
+  rec.degree = topology_->degree();
+  tracer_->emit(rec);
+}
+
 sim::TraceRecord ReferRouter::trace_base(sim::TraceEvent event,
                                          const Packet& pkt,
                                          NodeId from) const {
@@ -485,7 +494,7 @@ void ReferRouter::route_generation_failover(Cid cid, NodeId node,
   ++stats_.route_gen_floods;
   flooder_->discover(
       node, *dst_node, config_.route_gen_ttl, sim::EnergyBucket::kMaintenance,
-      [this, cid, target, dst_node = *dst_node,
+      [this, cid, node, target, dst_node = *dst_node,
        pkt](std::optional<std::vector<NodeId>> path) {
         if (!path || path->size() < 2) {
           drop(pkt, sim::DropReason::kFloodFailed);
@@ -493,13 +502,24 @@ void ReferRouter::route_generation_failover(Cid cid, NodeId node,
         }
         net::send_along_path(
             *channel_, *path, pkt->bytes, EnergyBucket::kData,
-            [this, cid, target, dst_node, pkt](std::size_t hops, bool ok) {
+            [this, cid, node, target, dst_node, pkt](std::size_t hops,
+                                                     bool ok) {
               pkt->physical_hops += static_cast<int>(hops);
               if (!ok) {
                 drop(pkt, sim::DropReason::kLinkFailed);
                 return;
               }
               pkt->kautz_hops += 1;
+              if (tracing()) {
+                // The flooded path is one logical hop from node to
+                // dst_node; record it (without overlay labels -- it is
+                // not a Kautz arc) so delivered packets keep a
+                // connected hop chain for trace_report's audit.
+                sim::TraceRecord rec =
+                    trace_base(sim::TraceEvent::kHopForward, *pkt, node);
+                rec.to = dst_node;
+                tracer_->emit(rec);
+              }
               intra_step(cid, target, dst_node, pkt);
             });
       },

@@ -80,6 +80,12 @@ class ReferRouter {
   /// branch per decision when no sink is attached.
   void set_tracer(sim::Tracer* tracer) noexcept { tracer_ = tracer; }
 
+  /// Emits one kTraceHeader record carrying the overlay's Kautz degree
+  /// d (no-op without a tracer).  ReferSystem calls this once after a
+  /// successful build so trace_report can audit Theorem 3.8 with the
+  /// exact degree instead of inferring it from observed label digits.
+  void emit_trace_header();
+
   /// Sends sensed data from an active Kautz sensor to the nearest corner
   /// actuator of its cell (the evaluation workload: sensors report events
   /// to nearby actuators).  Delivery completes at the first actuator

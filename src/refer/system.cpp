@@ -27,6 +27,7 @@ void ReferSystem::build(std::function<void(bool)> done) {
     // Let the notification frames drain before reporting readiness.
     sim_->schedule_in(0.5, [this, ok, done = std::move(done)] {
       ready_ = ok;
+      if (ok) router_->emit_trace_header();
       if (ok && config_.run_maintenance) maintenance_->start();
       if (done) done(ok);
     });
@@ -34,6 +35,7 @@ void ReferSystem::build(std::function<void(bool)> done) {
   }
   embedding_.run([this, done = std::move(done)](bool ok) {
     ready_ = ok;
+    if (ok) router_->emit_trace_header();
     if (ok && config_.run_maintenance) maintenance_->start();
     if (done) done(ok);
   });

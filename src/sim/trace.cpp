@@ -19,6 +19,7 @@ const char* to_string(TraceEvent event) noexcept {
     case TraceEvent::kPacketDropped: return "packet_dropped";
     case TraceEvent::kPacketDelivered: return "packet_delivered";
     case TraceEvent::kQosDeadlineMiss: return "qos_deadline_miss";
+    case TraceEvent::kTraceHeader: return "trace_header";
     case TraceEvent::kTraceEventCount: break;
   }
   return "?";
@@ -95,6 +96,9 @@ void JsonlTraceWriter::operator()(const TraceRecord& record) {
   }
   if (record.nominal_len >= 0) {
     std::fprintf(file_, ",\"nominal_len\":%d", record.nominal_len);
+  }
+  if (record.degree >= 0) {
+    std::fprintf(file_, ",\"degree\":%d", record.degree);
   }
   if (!record.at_label.empty()) {
     std::fprintf(file_, ",\"at\":\"%s\"",

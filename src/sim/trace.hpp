@@ -12,7 +12,9 @@
 //     router-assigned packet id plus overlay-label context so an offline
 //     analyzer (tools/trace_report) can reconstruct per-packet hop
 //     chains and audit every Theorem-3.8 fail-over against the Kautz
-//     disjoint-route table.
+//     disjoint-route table.  Routers that own an overlay also emit one
+//     kTraceHeader record at build time carrying the Kautz degree d, so
+//     the analyzer need not infer it from label digits.
 //
 //   sim::Tracer tracer;
 //   sim::JsonlTraceWriter writer("run.jsonl");
@@ -54,6 +56,7 @@ enum class TraceEvent {
   kPacketDropped,    ///< packet terminated undelivered (see DropReason)
   kPacketDelivered,  ///< packet reached its destination
   kQosDeadlineMiss,  ///< delivered, but after the QoS deadline
+  kTraceHeader,      ///< run metadata (Kautz degree d), once per trace
   /// Sentinel: number of event kinds.  Always keep last; counting sinks
   /// size their arrays from it so adding an event cannot read out of
   /// bounds.
@@ -90,6 +93,7 @@ struct TraceRecord {
   int hop_index = -1;    ///< overlay (Kautz) hops completed so far
   int alt_index = -1;    ///< failover: index into the alternative list
   int nominal_len = -1;  ///< failover: Theorem 3.8 nominal path length
+  int degree = -1;       ///< trace_header: K(d, k) degree of the overlay
   std::string at_label;    ///< current node's overlay label
   std::string dst_label;   ///< intra-cell routing target label
   std::string next_label;  ///< chosen successor's overlay label

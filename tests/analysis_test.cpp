@@ -10,6 +10,8 @@
 #include "analysis/jsonl.hpp"
 #include "analysis/trace_report.hpp"
 #include "harness/experiment.hpp"
+#include "refer/system.hpp"
+#include "sim/trace.hpp"
 
 namespace refer::analysis {
 namespace {
@@ -138,6 +140,48 @@ TEST(TraceReport, DetectsPathLongerThanNominal) {
   EXPECT_EQ(r.path_length_violations, 1u);
 }
 
+TEST(TraceReport, HeaderDegreeBeatsLabelInference) {
+  // Labels only exercise digits {0,1,2} (which would infer d=2), but
+  // the header says the overlay is K(3, k): the header wins.
+  std::istringstream in(
+      R"({"t":0.0,"event":"trace_header","from":-1,"to":-1,"bytes":0,)"
+      R"("bucket":0,"degree":3})"
+      "\n" +
+      base_packet(
+          R"({"t":0.2,"event":"hop_forward","from":1,"to":2,"bytes":100,)"
+          R"("bucket":0,"packet":0,"hop":1,"at":"012","dst":"201",)"
+          R"("next":"120"})"
+          "\n"));
+  const TraceReport r = analyze_trace(in);
+  EXPECT_EQ(r.schema_errors, 0u);
+  EXPECT_EQ(r.header_degree, 3);
+  EXPECT_EQ(r.degree, 3);
+
+  // An explicit --degree still overrides the header.
+  std::istringstream in2(
+      R"({"t":0.0,"event":"trace_header","from":-1,"to":-1,"bytes":0,)"
+      R"("bucket":0,"degree":3})"
+      "\n");
+  TraceReportOptions opts;
+  opts.degree = 4;
+  EXPECT_EQ(analyze_trace(in2, opts).degree, 4);
+}
+
+TEST(TraceReport, RejectsMalformedHeader) {
+  // A header without a degree (or with an unusable one) is a schema
+  // violation; the audit then falls back to label inference.
+  std::istringstream in(
+      R"({"t":0.0,"event":"trace_header","from":-1,"to":-1,"bytes":0,)"
+      R"("bucket":0})"
+      "\n"
+      R"({"t":0.1,"event":"trace_header","from":-1,"to":-1,"bytes":0,)"
+      R"("bucket":0,"degree":1})"
+      "\n");
+  const TraceReport r = analyze_trace(in);
+  EXPECT_EQ(r.schema_errors, 2u);
+  EXPECT_EQ(r.header_degree, 0);
+}
+
 TEST(TraceReport, FlagsSchemaViolations) {
   std::istringstream in(
       // Routing event without a packet id.
@@ -219,7 +263,8 @@ TEST(TraceReport, EndToEndReferTraceAuditsClean) {
   EXPECT_GT(r.lines, 0u);
   EXPECT_EQ(r.parse_errors, 0u);
   EXPECT_EQ(r.schema_errors, 0u);
-  EXPECT_EQ(r.degree, 2);  // the paper's K(2,3) cells
+  EXPECT_EQ(r.header_degree, 2);  // build emitted a trace_header record
+  EXPECT_EQ(r.degree, 2);         // the paper's K(2,3) cells
   // The trace also covers warmup traffic, so >= the windowed metrics.
   EXPECT_GE(r.packets_sent, m.packets_sent);
   EXPECT_GE(r.packets_delivered, m.packets_delivered);
@@ -234,6 +279,83 @@ TEST(TraceReport, EndToEndReferTraceAuditsClean) {
   EXPECT_EQ(r.arc_violations, 0u);
   EXPECT_EQ(r.violations(), 0u);
   std::remove(sc.trace_path.c_str());
+}
+
+TEST(TraceReport, RouteGenerationFloodsKeepHopChainsConnected) {
+  // Regression: in FailoverMode::kRouteGeneration a recovered packet
+  // travels a flooded path; that segment must appear as a (label-less)
+  // hop_forward record, or the chain-continuity audit flags every
+  // flood-recovered delivery as a break.
+  const std::string path = ::testing::TempDir() + "routegen_trace.jsonl";
+  {
+    sim::Simulator simulator;
+    sim::World world({{0, 0}, {500, 500}}, simulator);
+    sim::EnergyTracker energy;
+    sim::Channel channel(simulator, world, energy, Rng(3));
+    for (const Point p : {Point{125, 125}, Point{375, 125}, Point{125, 375},
+                          Point{375, 375}, Point{250, 250}}) {
+      world.add_actuator(p, 250);
+    }
+    Rng rng(42);
+    std::vector<sim::NodeId> sensors;
+    for (int i = 0; i < 200; ++i) {
+      sensors.push_back(world.add_static_sensor(
+          {rng.uniform(0, 500), rng.uniform(0, 500)}, 100));
+    }
+    energy.resize(world.size());
+    energy.set_initial_battery(1e9);
+
+    core::ReferConfig config;
+    config.router.failover = core::FailoverMode::kRouteGeneration;
+    core::ReferSystem system(simulator, world, channel, energy, Rng(7),
+                             config);
+    sim::Tracer tracer;
+    sim::JsonlTraceWriter writer(path);
+    tracer.set_sink(std::ref(writer));
+    system.set_tracer(&tracer);
+    bool ok = false;
+    system.build([&](bool r) { ok = r; });
+    simulator.run_until(30);
+    ASSERT_TRUE(ok);
+
+    // Cross-cell full addressing: a flood-recovered packet keeps
+    // routing (corner ascent, CAN transit, descent) after the flooded
+    // segment, which is exactly where a missing hop record shows up as
+    // a chain break.  Kill a fresh batch of sensors each round so
+    // relays lose their shortest successors and fall back to
+    // flood-discovered routes.
+    const auto dst_cid =
+        static_cast<core::Cid>(system.topology().cell_count()) - 1;
+    const core::FullId dst{dst_cid, kautz::Label{1, 0, 1}};
+    Rng pick(11), fault(13);
+    std::vector<sim::NodeId> down;
+    for (int round = 0; round < 8; ++round) {
+      for (sim::NodeId n : down) world.set_alive(n, true);
+      down.clear();
+      for (std::size_t idx : fault.sample_indices(sensors.size(), 20)) {
+        world.set_alive(sensors[idx], false);
+        down.push_back(sensors[idx]);
+      }
+      for (int i = 0; i < 20; ++i) {
+        const sim::NodeId src = sensors[pick.below(sensors.size())];
+        if (!world.alive(src)) continue;
+        system.send_to(src, dst, 1000, nullptr);
+        simulator.run_until(simulator.now() + 0.2);
+      }
+    }
+    simulator.run_until(simulator.now() + 3);
+    EXPECT_GT(system.router().stats().route_gen_floods, 0u);
+  }
+
+  const TraceReport r = analyze_trace_file(path, {});
+  EXPECT_EQ(r.parse_errors, 0u);
+  EXPECT_EQ(r.schema_errors, 0u);
+  EXPECT_EQ(r.header_degree, 2);
+  EXPECT_GT(r.packets_delivered, 0u);
+  EXPECT_EQ(r.chain_breaks, 0u);
+  EXPECT_EQ(r.arc_violations, 0u);
+  EXPECT_EQ(r.violations(), 0u);
+  std::remove(path.c_str());
 }
 
 }  // namespace

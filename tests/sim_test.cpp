@@ -502,6 +502,7 @@ TEST(TraceEventNames, AreStable) {
   EXPECT_STREQ(to_string(TraceEvent::kPacketDropped), "packet_dropped");
   EXPECT_STREQ(to_string(TraceEvent::kPacketDelivered), "packet_delivered");
   EXPECT_STREQ(to_string(TraceEvent::kQosDeadlineMiss), "qos_deadline_miss");
+  EXPECT_STREQ(to_string(TraceEvent::kTraceHeader), "trace_header");
   EXPECT_STREQ(to_string(DropReason::kTtlExpired), "ttl_expired");
   EXPECT_STREQ(to_string(DropReason::kAllSuccessorsFailed),
                "all_successors_failed");
@@ -559,13 +560,18 @@ TEST(JsonlTraceWriter, RoutingRecordsCarryPacketContext) {
     TraceRecord frame;
     frame.event = TraceEvent::kUnicastQueued;
     writer(frame);
-    EXPECT_EQ(writer.records_written(), 3u);
+    TraceRecord header;
+    header.event = TraceEvent::kTraceHeader;
+    header.degree = 2;
+    writer(header);
+    EXPECT_EQ(writer.records_written(), 4u);
   }
   std::ifstream in(path);
-  std::string hop_line, drop_line, frame_line;
+  std::string hop_line, drop_line, frame_line, header_line;
   ASSERT_TRUE(std::getline(in, hop_line));
   ASSERT_TRUE(std::getline(in, drop_line));
   ASSERT_TRUE(std::getline(in, frame_line));
+  ASSERT_TRUE(std::getline(in, header_line));
   EXPECT_NE(hop_line.find("\"event\":\"hop_forward\""), std::string::npos);
   EXPECT_NE(hop_line.find("\"packet\":42"), std::string::npos);
   EXPECT_NE(hop_line.find("\"hop\":2"), std::string::npos);
@@ -575,6 +581,10 @@ TEST(JsonlTraceWriter, RoutingRecordsCarryPacketContext) {
   EXPECT_NE(drop_line.find("\"reason\":\"ttl_expired\""), std::string::npos);
   EXPECT_EQ(frame_line.find("\"packet\""), std::string::npos);
   EXPECT_EQ(frame_line.find("\"at\""), std::string::npos);
+  EXPECT_EQ(frame_line.find("\"degree\""), std::string::npos);
+  EXPECT_NE(header_line.find("\"event\":\"trace_header\""),
+            std::string::npos);
+  EXPECT_NE(header_line.find("\"degree\":2"), std::string::npos);
 }
 
 TEST(SimulatorObservability, TracksPeakQueueDepth) {

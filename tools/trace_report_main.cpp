@@ -26,7 +26,7 @@ int usage() {
       "usage: trace_report [--degree D] [--chains N] [--strict] "
       "<trace.jsonl>...\n"
       "  --degree D   Kautz degree for the Theorem 3.8 audit "
-      "(default: infer)\n"
+      "(default: trace header, else infer)\n"
       "  --chains N   fail-over hop chains to print per file "
       "(default: 3)\n"
       "  --strict     exit 1 when any audit finds a violation\n");
