@@ -21,6 +21,8 @@
 //                   DIR/<bench>/ (analyze with tools trace_report)
 //   --profile       attach the kernel profiler (per-event-tag wall-time
 //                   histograms in the observability section)
+//   --no-spatial-index  disable the world's spatial grid index (O(n)
+//                   linear scans; results are bit-identical, only slower)
 //   --quick         reps=1, measure=45 (CI smoke runs)
 //   --full          reps=5, measure=200 (closer to paper scale)
 //
@@ -102,6 +104,8 @@ inline BenchOptions parse_options(int argc, char** argv) {
       opt.trace_dir = string_value(i);
     } else if (arg == "--profile") {
       opt.base.profile = true;
+    } else if (arg == "--no-spatial-index") {
+      opt.base.spatial_index = false;
     } else if (arg == "--quick") {
       opt.reps = 1;
       opt.base.measure_s = 45;

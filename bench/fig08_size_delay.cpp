@@ -16,7 +16,11 @@ namespace {
 int run_fig08(Context& ctx) {
   print_header("Figure 8", "delay vs. network size");
 
-  const std::vector<double> sizes{100, 200, 300, 400};
+  // 100-400 reproduces the paper's x-axis; 800 and 1600 extend the sweep
+  // into the dense-deployment regime the ROADMAP north-star targets,
+  // where per-packet O(n) substrate scans would dominate wall time if the
+  // world were not spatially indexed.
+  const std::vector<double> sizes{100, 200, 300, 400, 800, 1600};
   const auto points = run_sweep(
       ctx, ctx.opt.base, sizes,
       [](harness::Scenario& sc, double n) {

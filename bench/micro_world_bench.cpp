@@ -1,0 +1,167 @@
+// Micro-benchmarks (google-benchmark) for the spatial grid index and the
+// Theorem 3.8 route cache -- the two hot-path optimisations that keep
+// per-packet cost proportional to *degree* instead of deployment size.
+//
+// BM_ReachableFrom_{Linear,Grid} scale the deployment at constant density
+// (area side grows with sqrt(n)), so the per-query neighbour count stays
+// flat while n grows: the linear scan degrades with n, the grid should
+// not.  The acceptance bar is >= 5x at n = 1000.
+//
+// BM_DisjointRoutes_{Uncached,Cached} replay a repeating working set of
+// (u, v) pairs, the traffic pattern real flows produce.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <vector>
+
+#include "kautz/graph.hpp"
+#include "kautz/route_cache.hpp"
+#include "kautz/routing.hpp"
+#include "sim/channel.hpp"
+#include "sim/world.hpp"
+
+namespace {
+
+using namespace refer;
+using sim::NodeId;
+
+/// The fig04/fig08 deployment shape at constant density: ~200 sensors per
+/// 500 m x 500 m, sensors i.i.d. around a quincunx of actuators.
+struct Fixture {
+  explicit Fixture(int n_sensors, bool spatial_index)
+      : side(500.0 * std::sqrt(n_sensors / 200.0)),
+        world({{0, 0}, {side, side}}, simulator) {
+    world.set_spatial_index_enabled(spatial_index);
+    Rng rng(42);
+    std::vector<NodeId> actuators;
+    for (const Point p :
+         {Point{0.25 * side, 0.25 * side}, Point{0.75 * side, 0.25 * side},
+          Point{0.25 * side, 0.75 * side}, Point{0.75 * side, 0.75 * side},
+          Point{0.50 * side, 0.50 * side}}) {
+      actuators.push_back(world.add_actuator(p, 250));
+    }
+    for (int i = 0; i < n_sensors; ++i) {
+      const Point anchor =
+          world.position(actuators[rng.below(actuators.size())]);
+      const double ang = rng.uniform(0, 2 * 3.14159265358979323846);
+      const double rad = 0.44 * side * std::sqrt(rng.uniform());
+      world.add_sensor(clamp({anchor.x + rad * std::cos(ang),
+                              anchor.y + rad * std::sin(ang)},
+                             world.area()),
+                       100, 0, 3, rng.split());
+    }
+  }
+
+  double side;
+  sim::Simulator simulator;
+  sim::World world;
+};
+
+void bm_reachable_from(benchmark::State& state, bool spatial_index) {
+  Fixture fx(static_cast<int>(state.range(0)), spatial_index);
+  const auto n = static_cast<NodeId>(fx.world.size());
+  NodeId from = 0;
+  std::uint64_t visited = 0;
+  // Advance simulated time every few queries so the mobile nodes drift
+  // and the index has to revalidate -- the realistic steady state, where
+  // one simulator event issues several geometric queries.
+  double t = 0;
+  int countdown = 0;
+  for (auto _ : state) {
+    if (--countdown <= 0) {
+      countdown = 8;
+      t += 1e-3;
+      fx.simulator.run_until(t);
+    }
+    from = (from + 1) % n;
+    fx.world.visit_reachable(from, [&](NodeId) { ++visited; });
+  }
+  benchmark::DoNotOptimize(visited);
+  state.counters["visited_per_query"] =
+      benchmark::Counter(static_cast<double>(visited),
+                         benchmark::Counter::kAvgIterations);
+}
+
+void BM_ReachableFrom_Linear(benchmark::State& state) {
+  bm_reachable_from(state, /*spatial_index=*/false);
+}
+void BM_ReachableFrom_Grid(benchmark::State& state) {
+  bm_reachable_from(state, /*spatial_index=*/true);
+}
+BENCHMARK(BM_ReachableFrom_Linear)->Arg(250)->Arg(1000)->Arg(4000);
+BENCHMARK(BM_ReachableFrom_Grid)->Arg(250)->Arg(1000)->Arg(4000);
+
+void bm_closest_actuator(benchmark::State& state, bool spatial_index) {
+  Fixture fx(static_cast<int>(state.range(0)), spatial_index);
+  const auto n = static_cast<NodeId>(fx.world.size());
+  NodeId from = 0;
+  for (auto _ : state) {
+    from = (from + 1) % n;
+    benchmark::DoNotOptimize(fx.world.closest_actuator(from));
+  }
+}
+
+void BM_ClosestActuator_Linear(benchmark::State& state) {
+  bm_closest_actuator(state, /*spatial_index=*/false);
+}
+void BM_ClosestActuator_Grid(benchmark::State& state) {
+  bm_closest_actuator(state, /*spatial_index=*/true);
+}
+BENCHMARK(BM_ClosestActuator_Linear)->Arg(1000)->Arg(4000);
+BENCHMARK(BM_ClosestActuator_Grid)->Arg(1000)->Arg(4000);
+
+/// A working set of 64 (u, v) pairs replayed round-robin: what a handful
+/// of concurrent flows look like to a relay's route derivation.
+std::vector<std::pair<kautz::Label, kautz::Label>> working_set(
+    const kautz::Graph& g) {
+  std::vector<std::pair<kautz::Label, kautz::Label>> pairs;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    const auto n = g.node_count();
+    const kautz::Label u =
+        kautz::Label::from_index((i * 131) % n, g.degree(), g.diameter());
+    kautz::Label v =
+        kautz::Label::from_index((i * 7919 + 13) % n, g.degree(),
+                                 g.diameter());
+    if (v == u) {
+      v = kautz::Label::from_index((i * 7919 + 14) % n, g.degree(),
+                                   g.diameter());
+    }
+    pairs.emplace_back(u, v);
+  }
+  return pairs;
+}
+
+void BM_DisjointRoutes_Uncached(benchmark::State& state) {
+  const kautz::Graph g(static_cast<int>(state.range(0)),
+                       static_cast<int>(state.range(1)));
+  const auto pairs = working_set(g);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& [u, v] = pairs[i++ % pairs.size()];
+    benchmark::DoNotOptimize(kautz::disjoint_routes(g.degree(), u, v));
+  }
+}
+
+void BM_DisjointRoutes_Cached(benchmark::State& state) {
+  const kautz::Graph g(static_cast<int>(state.range(0)),
+                       static_cast<int>(state.range(1)));
+  const auto pairs = working_set(g);
+  kautz::RouteCache cache;
+  std::vector<kautz::Route> out;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& [u, v] = pairs[i++ % pairs.size()];
+    cache.lookup(g.degree(), u, v, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["hit_rate"] =
+      static_cast<double>(cache.hits()) /
+      static_cast<double>(cache.hits() + cache.misses());
+}
+
+BENCHMARK(BM_DisjointRoutes_Uncached)->Args({2, 3})->Args({4, 4});
+BENCHMARK(BM_DisjointRoutes_Cached)->Args({2, 3})->Args({4, 4});
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -25,13 +25,13 @@ std::vector<NodeId> DDear::khop_neighborhood(NodeId node, int hops) {
   for (int h = 0; h < hops; ++h) {
     std::vector<NodeId> next;
     for (NodeId at : frontier) {
-      for (NodeId n : world_->reachable_from(at)) {
-        if (world_->is_actuator(n)) continue;
+      world_->visit_reachable(at, [&](NodeId n) {
+        if (world_->is_actuator(n)) return;
         if (seen.insert(n).second) {
           next.push_back(n);
           out.push_back(n);
         }
-      }
+      });
     }
     frontier = std::move(next);
   }
@@ -165,15 +165,15 @@ void DDear::route_from_member(NodeId src, PendingPtr msg) {
                       // Try a relay towards the head.
                       NodeId relay = -1;
                       double best = std::numeric_limits<double>::infinity();
-                      for (NodeId r : world_->reachable_from(src)) {
-                        if (!world_->can_reach(r, head)) continue;
+                      world_->visit_reachable(src, [&](NodeId r) {
+                        if (!world_->can_reach(r, head)) return;
                         const double d = distance_sq(world_->position(r),
                                                      world_->position(head));
                         if (d < best) {
                           best = d;
                           relay = r;
                         }
-                      }
+                      });
                       if (relay < 0) {
                         reattach_member(src, msg);
                         return;

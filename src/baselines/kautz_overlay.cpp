@@ -169,7 +169,7 @@ void KautzOverlay::enter_overlay(NodeId at, int budget, PendingPtr msg) {
   }
   const Point goal = world_->position(actuator);
   double best_progress = distance_sq(world_->position(at), goal);
-  for (NodeId n : world_->reachable_from(at)) {
+  world_->visit_reachable(at, [&](NodeId n) {
     if (bindings_.contains(n) || world_->is_actuator(n)) {
       const double d = distance_sq(world_->position(at), world_->position(n));
       if (d < best_member) {
@@ -182,7 +182,7 @@ void KautzOverlay::enter_overlay(NodeId at, int budget, PendingPtr msg) {
       best_progress = d_goal;
       closer = n;
     }
-  }
+  });
   const NodeId next = member >= 0 ? member : closer;
   if (next < 0) {
     drop(msg);

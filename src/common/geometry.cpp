@@ -5,17 +5,6 @@
 
 namespace refer {
 
-double distance(Point a, Point b) noexcept { return (a - b).norm(); }
-
-double distance_sq(Point a, Point b) noexcept {
-  const Point d = a - b;
-  return d.x * d.x + d.y * d.y;
-}
-
-bool within_range(Point a, Point b, double range) noexcept {
-  return distance_sq(a, b) <= range * range;
-}
-
 Point clamp(Point p, const Rect& rect) noexcept {
   return {std::clamp(p.x, rect.lo.x, rect.hi.x),
           std::clamp(p.y, rect.lo.y, rect.hi.y)};

@@ -22,14 +22,23 @@ struct Point {
 };
 
 /// Euclidean distance between two points.
-[[nodiscard]] double distance(Point a, Point b) noexcept;
+[[nodiscard]] inline double distance(Point a, Point b) noexcept {
+  return (a - b).norm();
+}
 
-/// Squared distance; avoids the sqrt in hot range checks.
-[[nodiscard]] double distance_sq(Point a, Point b) noexcept;
+/// Squared distance; avoids the sqrt in hot range checks.  Inline: the
+/// spatial index prefilter calls this for every candidate of every query.
+[[nodiscard]] inline double distance_sq(Point a, Point b) noexcept {
+  const Point d = a - b;
+  return d.x * d.x + d.y * d.y;
+}
 
 /// True iff |a-b| <= range (inclusive: a node exactly at the range edge can
 /// still communicate; the boundary case matters for unit tests).
-[[nodiscard]] bool within_range(Point a, Point b, double range) noexcept;
+[[nodiscard]] inline bool within_range(Point a, Point b,
+                                       double range) noexcept {
+  return distance_sq(a, b) <= range * range;
+}
 
 /// Axis-aligned rectangle [lo.x, hi.x] x [lo.y, hi.y].
 struct Rect {

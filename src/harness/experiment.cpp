@@ -79,6 +79,9 @@ class ReferAdapter final : public WsanSystem {
     registry.counter("router.route_gen_floods").set(s.route_gen_floods);
     registry.counter("router.relays_used").set(s.relays_used);
     registry.counter("router.can_hops").set(s.can_hops);
+    const kautz::RouteCache& rc = system_.router().route_cache();
+    registry.counter("router.route_cache_hits").set(rc.hits());
+    registry.counter("router.route_cache_misses").set(rc.misses());
     for (std::size_t i = 0; i < s.drops_by_reason.size(); ++i) {
       if (s.drops_by_reason[i] == 0) continue;
       registry
@@ -103,6 +106,7 @@ struct Deployment {
                     .mac = sc.csma ? sim::MacMode::kCsma
                                    : sim::MacMode::kNullMac}),
         flooder(sim, world, channel) {
+    world.set_spatial_index_enabled(sc.spatial_index);
     place_actuators();
     place_sensors();
     energy.resize(world.size());
@@ -287,6 +291,14 @@ class Driver {
     st.counter("channel.unicasts_delivered").set(cs.unicasts_delivered);
     st.counter("channel.unicasts_failed").set(cs.unicasts_failed);
     st.counter("channel.broadcasts_sent").set(cs.broadcasts_sent);
+    // Spatial-index health (zeros when the index is disabled).  These are
+    // the only observability entries that may differ between index-on and
+    // index-off runs of the same scenario.
+    const sim::World::IndexStats& gs = dep_->world.index_stats();
+    st.counter("world.grid.queries").set(gs.queries);
+    st.counter("world.grid.candidates").set(gs.candidates);
+    st.counter("world.grid.rebins").set(gs.rebins);
+    st.counter("world.grid.rebuilds").set(gs.rebuilds);
     for (const auto& [node, airtime] : dep_->channel.busiest_nodes(5)) {
       st.counter("node." + std::to_string(node) + ".airtime_us")
           .set(static_cast<std::uint64_t>(airtime * 1e6));

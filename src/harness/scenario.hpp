@@ -63,6 +63,11 @@ struct Scenario {
   /// the evaluated model); false = per-sender-only serialisation.
   bool csma = true;
 
+  /// Spatial grid index for the world's geometric queries (default on).
+  /// Results are bit-identical either way (proven by test); false restores
+  /// the O(n) linear scans for perf comparison.
+  bool spatial_index = true;
+
   /// When > 0, RunMetrics::qos_timeline_kbps reports QoS throughput per
   /// bucket of this many seconds across the measurement window -- the
   /// within-run decay curve (how a system degrades as its topology goes

@@ -1,0 +1,39 @@
+#include "kautz/route_cache.hpp"
+
+#include <bit>
+
+namespace refer::kautz {
+
+RouteCache::RouteCache(std::size_t capacity) {
+  const std::size_t slots = std::bit_ceil(capacity < 2 ? 2 : capacity);
+  entries_.resize(slots);
+  mask_ = slots - 1;
+}
+
+void RouteCache::lookup(int d, const Label& u, const Label& v,
+                        std::vector<Route>& out) {
+  if (static_cast<std::size_t>(d) >= kMaxRoutes) {
+    out = disjoint_routes(d, u, v);
+    return;
+  }
+  // Mix the two label hashes and the degree; the shifts decorrelate
+  // (u, v) from (v, u).
+  const std::uint64_t h =
+      u.hash() * 0x9e3779b97f4a7c15ULL + (v.hash() << 1) +
+      static_cast<std::uint64_t>(d);
+  Entry& e = entries_[static_cast<std::size_t>(h) & mask_];
+  if (e.d == d && e.u == u && e.v == v) {
+    ++hits_;
+  } else {
+    ++misses_;
+    const std::vector<Route> routes = disjoint_routes(d, u, v);
+    e.u = u;
+    e.v = v;
+    e.d = d;
+    e.count = static_cast<std::uint8_t>(routes.size());
+    for (std::size_t i = 0; i < routes.size(); ++i) e.routes[i] = routes[i];
+  }
+  out.assign(e.routes.begin(), e.routes.begin() + e.count);
+}
+
+}  // namespace refer::kautz

@@ -1,0 +1,52 @@
+// Bounded memo cache for Theorem 3.8 route tables.
+//
+// disjoint_routes(d, u, v) is a pure function of its arguments, and real
+// traffic repeats (source, destination) pairs heavily -- a flow pays the
+// derivation on every hop of every packet.  This cache keeps the table
+// per (d, u, v) in a fixed-size direct-mapped array: bounded memory, no
+// allocation or eviction bookkeeping on the hot path, and a stale slot is
+// simply recomputed (correctness never depends on a hit).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "kautz/routing.hpp"
+
+namespace refer::kautz {
+
+class RouteCache {
+ public:
+  /// `capacity` is rounded up to a power of two (direct-mapped slots).
+  explicit RouteCache(std::size_t capacity = 512);
+
+  /// Fills `out` with disjoint_routes(d, u, v), serving repeats from the
+  /// cache.  Identical output (same order) to calling disjoint_routes
+  /// directly.
+  void lookup(int d, const Label& u, const Label& v, std::vector<Route>& out);
+
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+
+ private:
+  /// Theorem 3.8 yields exactly d routes; degrees at or above this bypass
+  /// the cache (the paper's evaluations use d <= 4).
+  static constexpr std::size_t kMaxRoutes = 10;
+
+  struct Entry {
+    Label u;
+    Label v;
+    int d = -1;  ///< -1 = empty slot
+    std::uint8_t count = 0;
+    std::array<Route, kMaxRoutes> routes;
+  };
+
+  std::vector<Entry> entries_;
+  std::size_t mask_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace refer::kautz

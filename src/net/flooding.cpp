@@ -8,10 +8,29 @@ namespace refer::net {
 namespace {
 
 /// Shared per-query flood state, kept alive by the closures.
+///
+/// A node forwards a query at most once, so the path any copy carries is
+/// always "the forwarder's first-accepted path plus the forwarder".  That
+/// makes the set of travelled paths a tree: instead of copying a path
+/// vector into every relay closure (one allocation per receiver per hop),
+/// each acceptance records only its parent, and the full path is
+/// reconstructed -- identically -- on the rare target arrival.
 struct FloodState {
-  std::unordered_set<NodeId> forwarded;  // flood suppression
+  std::unordered_set<NodeId> forwarded;            // flood suppression
+  std::unordered_map<NodeId, NodeId> parent_of;    // first-accept forwarder
   std::vector<std::vector<NodeId>> arrived_paths;
   bool finished = false;
+
+  /// The path src ... at (inclusive) along first-acceptance parents.
+  [[nodiscard]] std::vector<NodeId> path_to(NodeId at) const {
+    std::vector<NodeId> path{at};
+    for (auto it = parent_of.find(at);
+         it != parent_of.end() && it->second >= 0;
+         it = parent_of.find(it->second)) {
+      path.push_back(it->second);
+    }
+    return {path.rbegin(), path.rend()};
+  }
 };
 
 }  // namespace
@@ -54,35 +73,35 @@ void Flooder::discover(NodeId src, NodeId target, int ttl,
     (*forward)(0);
   };
 
-  auto relay = std::make_shared<
-      std::function<void(NodeId, std::vector<NodeId>, int)>>();
+  auto relay = std::make_shared<std::function<void(NodeId, NodeId, int)>>();
   *relay = [this, state, target, bucket, query_bytes, reply,
-            relay](NodeId at, std::vector<NodeId> path, int ttl_left) {
+            relay](NodeId at, NodeId from, int ttl_left) {
     if (state->finished) return;
     if (state->forwarded.contains(at)) return;  // already forwarded
     // Only accept over symmetric links: the discovered route must carry
     // the reply (and later data) back towards the source, so a node that
     // cannot reach the forwarder ignores the query copy (AODV-style
     // blacklisting of unidirectional links).
-    if (!path.empty() && !world_->can_reach(at, path.back())) return;
+    if (from >= 0 && !world_->can_reach(at, from)) return;
     state->forwarded.insert(at);
-    path.push_back(at);
+    state->parent_of.emplace(at, from);
     if (at == target) {
       if (state->arrived_paths.empty()) {
+        std::vector<NodeId> path = state->path_to(at);
         state->arrived_paths.push_back(path);
-        reply(path);
+        reply(std::move(path));
       }
       return;
     }
     if (ttl_left <= 0) return;
     channel_->broadcast(at, query_bytes, bucket,
-                        [state, relay, path, ttl_left](NodeId r) {
-                          (*relay)(r, path, ttl_left - 1);
+                        [state, relay, at, ttl_left](NodeId r) {
+                          (*relay)(r, at, ttl_left - 1);
                         });
   };
 
   // Kick off: src "receives" its own query with full TTL.
-  (*relay)(src, {}, ttl);
+  (*relay)(src, -1, ttl);
 
   sim_->schedule_in(deadline_s, [state, done_shared] {
     if (state->finished) return;
@@ -97,25 +116,28 @@ void Flooder::collect_paths(NodeId src, NodeId target, int ttl,
                             double query_tx_range) {
   ++next_query_;
   auto state = std::make_shared<FloodState>();
-  auto relay = std::make_shared<
-      std::function<void(NodeId, std::vector<NodeId>, int)>>();
+  auto relay = std::make_shared<std::function<void(NodeId, NodeId, int)>>();
   *relay = [this, state, target, bucket, query_bytes, query_tx_range,
-            relay](NodeId at, std::vector<NodeId> path, int ttl_left) {
+            relay](NodeId at, NodeId from, int ttl_left) {
     if (state->finished) return;
-    path.push_back(at);
     if (at == target) {
-      state->arrived_paths.push_back(path);  // record every arrival
+      // Record every arrival: forwarder's first-accept path + target.
+      std::vector<NodeId> path =
+          from >= 0 ? state->path_to(from) : std::vector<NodeId>{};
+      path.push_back(at);
+      state->arrived_paths.push_back(std::move(path));
       return;
     }
     if (!state->forwarded.insert(at).second) return;
+    state->parent_of.emplace(at, from);
     if (ttl_left <= 0) return;
     channel_->broadcast(at, query_bytes, bucket,
-                        [state, relay, path, ttl_left](NodeId r) {
-                          (*relay)(r, path, ttl_left - 1);
+                        [state, relay, at, ttl_left](NodeId r) {
+                          (*relay)(r, at, ttl_left - 1);
                         },
                         query_tx_range);
   };
-  (*relay)(src, {}, ttl + 1);  // src itself does not consume TTL
+  (*relay)(src, -1, ttl + 1);  // src itself does not consume TTL
 
   sim_->schedule_in(deadline_s,
                     [state, done = std::move(done)] {
@@ -156,10 +178,14 @@ std::optional<std::vector<NodeId>> bfs_path(
   std::unordered_map<NodeId, NodeId> parent;
   std::deque<NodeId> frontier{src};
   parent[src] = src;
+  // One leased neighbour buffer reused across every BFS expansion.
+  sim::ScratchPool::Lease lease = world.lease_scratch();
+  std::vector<NodeId>& neighbours = *lease;
   while (!frontier.empty()) {
     const NodeId at = frontier.front();
     frontier.pop_front();
-    for (NodeId next : world.reachable_from(at)) {
+    world.reachable_from(at, neighbours);
+    for (NodeId next : neighbours) {
       if (parent.contains(next)) continue;
       if (exclude && next != dst && exclude->contains(next)) continue;
       parent[next] = at;

@@ -398,17 +398,17 @@ void EmbeddingProtocol::finish_cell_fill_ins(std::size_t cell_index,
 
   NodeId best = -1;
   double best_battery = -1;
-  for (NodeId c : world_->reachable_from(*holder_a)) {
+  world_->visit_reachable(*holder_a, [&](NodeId c) {
     if (!sensor_unassigned(c) || !world_->can_reach(*holder_b, c) ||
         !world_->can_reach(c, *holder_a) || !world_->can_reach(c, *holder_b)) {
-      continue;
+      return;
     }
     const double battery = energy_->battery(static_cast<std::size_t>(c));
     if (battery > best_battery) {
       best_battery = battery;
       best = c;
     }
-  }
+  });
   if (best < 0) {
     // Geometric fallback: closest unassigned sensor to the midpoint that
     // can reach both holders is required; without one the cell cannot be

@@ -100,7 +100,7 @@ void ReferRouter::enter_overlay(NodeId at, int budget, PacketPtr pkt) {
   }
   const Point goal = world_->position(actuator);
   double best_progress = distance_sq(world_->position(at), goal);
-  for (NodeId n : world_->reachable_from(at)) {
+  world_->visit_reachable(at, [&](NodeId n) {
     const Role r = topology_->role(n);
     const double d_member =
         distance_sq(world_->position(at), world_->position(n));
@@ -115,7 +115,7 @@ void ReferRouter::enter_overlay(NodeId at, int budget, PacketPtr pkt) {
       best_progress = d_goal;
       closer = n;
     }
-  }
+  });
   const NodeId next = member >= 0 ? member : closer;
   if (next < 0) {
     drop(pkt, sim::DropReason::kOverlayEntryFailed);
@@ -221,12 +221,12 @@ void ReferRouter::intra_step(Cid cid, Label label, NodeId node,
     r.path_class = kautz::PathClass::kOther;
     r.nominal_length = 0;  // already accounted by the conflict route
     routes.push_back(r);
-    for (auto& alt : kautz::disjoint_routes(topology_->degree(), label,
-                                            target)) {
+    route_cache_.lookup(topology_->degree(), label, target, cache_scratch_);
+    for (const auto& alt : cache_scratch_) {
       if (alt.successor != forced) routes.push_back(alt);
     }
   } else {
-    routes = kautz::disjoint_routes(topology_->degree(), label, target);
+    route_cache_.lookup(topology_->degree(), label, target, routes);
   }
   // Equal-length alternatives are tried in random order (SIII-C2: "if a
   // number of paths with the same path length exist, U randomly chooses a
@@ -447,8 +447,8 @@ void ReferRouter::transmit_arc(NodeId from, NodeId to, PacketPtr pkt,
         NodeId relay = -1;
         double best = std::numeric_limits<double>::infinity();
         if (world_->alive(from) && world_->alive(to)) {
-          for (NodeId r : world_->reachable_from(from)) {
-            if (r == to || !world_->can_reach(r, to)) continue;
+          world_->visit_reachable(from, [&](NodeId r) {
+            if (r == to || !world_->can_reach(r, to)) return;
             const double d =
                 distance(world_->position(from), world_->position(r)) +
                 distance(world_->position(r), world_->position(to));
@@ -456,7 +456,7 @@ void ReferRouter::transmit_arc(NodeId from, NodeId to, PacketPtr pkt,
               best = d;
               relay = r;
             }
-          }
+          });
         }
         if (relay < 0) {
           done(false);

@@ -23,6 +23,7 @@
 #include <functional>
 #include <memory>
 
+#include "kautz/route_cache.hpp"
 #include "kautz/routing.hpp"
 #include "net/flooding.hpp"
 #include "refer/topology.hpp"
@@ -110,6 +111,11 @@ class ReferRouter {
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
+  /// Theorem 3.8 memo cache (hit/miss counters feed observability).
+  [[nodiscard]] const kautz::RouteCache& route_cache() const noexcept {
+    return route_cache_;
+  }
+
  private:
   /// In-flight packet state (shared by the hop closures).
   struct Packet {
@@ -175,6 +181,10 @@ class ReferRouter {
   sim::Tracer* tracer_ = nullptr;
   std::int64_t next_packet_id_ = 0;
   Stats stats_;
+  /// Repeated (label, target) pairs -- every hop of every flow -- serve
+  /// their Theorem 3.8 table from here instead of re-deriving it.
+  kautz::RouteCache route_cache_;
+  std::vector<kautz::Route> cache_scratch_;  ///< reused lookup buffer
 };
 
 }  // namespace refer::core

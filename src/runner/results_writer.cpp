@@ -111,6 +111,7 @@ void write_scenario(JsonWriter& w, const harness::Scenario& sc) {
   w.kv("fault_period_s", sc.fault_period_s);
   w.kv("seed", sc.seed);
   w.kv("csma", sc.csma);
+  w.kv("spatial_index", sc.spatial_index);
   w.kv("timeline_bucket_s", sc.timeline_bucket_s);
   w.kv("trace_dir", sc.trace_dir);
   w.kv("profile", sc.profile);

@@ -11,7 +11,16 @@ Channel::Channel(Simulator& sim, World& world, EnergyTracker& energy, Rng rng,
       world_(&world),
       energy_(&energy),
       rng_(rng),
-      config_(config) {}
+      config_(config) {
+  // Size the per-node medium state now and on every node addition, so
+  // reserve_tx_slot never has to check.
+  size_listener_ = world_->add_size_listener([this](std::size_t n) {
+    busy_until_.resize(n, 0.0);
+    airtime_.resize(n, 0.0);
+  });
+}
+
+Channel::~Channel() { world_->remove_size_listener(size_listener_); }
 
 void Channel::set_stats(StatsRegistry* registry) {
   queue_wait_us_ =
@@ -24,22 +33,19 @@ double Channel::frame_time(std::size_t bytes) const noexcept {
 }
 
 Time Channel::reserve_tx_slot(NodeId node, double duration) {
-  if (busy_until_.size() < world_->size()) {
-    busy_until_.resize(world_->size(), 0.0);
-    airtime_.resize(world_->size(), 0.0);
-  }
-  airtime_[static_cast<std::size_t>(node)] += duration;
-  stats_.total_airtime_s += duration;
   const auto idx = static_cast<std::size_t>(node);
+  assert(idx < busy_until_.size());
+  airtime_[idx] += duration;
+  stats_.total_airtime_s += duration;
   const Time start = std::max(sim_->now(), busy_until_[idx]);
   const Time end = start + duration;
   busy_until_[idx] = end;
   if (config_.mac == MacMode::kCsma) {
     // CSMA: the medium around the sender is occupied; in-range nodes defer.
-    for (NodeId n : world_->reachable_from(node)) {
+    world_->visit_reachable(node, [this, end](NodeId n) {
       auto& busy = busy_until_[static_cast<std::size_t>(n)];
       busy = std::max(busy, end);
-    }
+    });
   }
   return start;
 }
@@ -105,7 +111,15 @@ void Channel::broadcast(NodeId from, std::size_t bytes, EnergyBucket bucket,
                         [this, from, bucket, range_override,
                          on_receive = std::move(on_receive)] {
     energy_->charge_tx(static_cast<std::size_t>(from), bucket);
-    for (NodeId r : world_->reachable_from(from, range_override)) {
+    // Materialise the receiver set before invoking handlers: on_receive may
+    // re-enter the channel (a flood hop starts the next broadcast), and the
+    // lease keeps the buffer safe across that re-entry without allocating.
+    ScratchPool::Lease lease = world_->lease_scratch();
+    std::vector<NodeId>& receivers = *lease;
+    world_->visit_reachable(
+        from, [&receivers](NodeId r) { receivers.push_back(r); },
+        range_override);
+    for (NodeId r : receivers) {
       energy_->charge_rx(static_cast<std::size_t>(r), bucket);
       ++stats_.broadcast_receptions;
       if (on_receive) on_receive(r);

@@ -69,6 +69,15 @@ class Channel {
 
   Channel(Simulator& sim, World& world, EnergyTracker& energy, Rng rng,
           ChannelConfig config = {});
+  ~Channel();
+
+  // The ctor registers a World size listener capturing `this` (it keeps the
+  // per-node medium state sized ahead of use); moving or copying would leave
+  // that callback dangling.
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+  Channel(Channel&&) = delete;
+  Channel& operator=(Channel&&) = delete;
 
   /// Sends `bytes` from `from` to `to`.  `done` fires at delivery time on
   /// success, or after the ACK timeout on failure.  A dead sender fails
@@ -119,8 +128,9 @@ class Channel {
   Rng rng_;
   ChannelConfig config_;
   ChannelStats stats_;
-  std::vector<Time> busy_until_;
+  std::vector<Time> busy_until_;  ///< sized by the World listener, not lazily
   std::vector<double> airtime_;
+  int size_listener_ = -1;
   Tracer* tracer_ = nullptr;
   Histogram* queue_wait_us_ = nullptr;  // owned by the attached registry
 };

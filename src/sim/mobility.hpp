@@ -33,6 +33,18 @@ class Waypoint {
   /// The speed of the current segment (0 when pausing or static).
   [[nodiscard]] double current_speed() const noexcept { return speed_; }
 
+  /// End time of the current segment (+inf for static nodes).  Together
+  /// with current_speed() this bounds how far the node can drift from a
+  /// sampled position -- the spatial index derives its re-bin deadlines
+  /// from exactly this analytic leg, so static nodes are never re-binned.
+  [[nodiscard]] Time segment_end() const noexcept { return arrive_; }
+
+  /// Upper bound on any segment's speed over the node's lifetime (0 for
+  /// static nodes): the waypoint draw is uniform in [min, max].
+  [[nodiscard]] double max_speed() const noexcept {
+    return mobile_ ? max_speed_ : 0.0;
+  }
+
   static constexpr double kMinMoveSpeed = 0.01;   // m/s
   static constexpr double kPauseDuration = 10.0;  // s
 

@@ -6,22 +6,35 @@
 #include "sim/trace.hpp"
 
 namespace refer::sim {
+namespace {
+
+/// Staleness budget as a fraction of the max transmission range.  Larger
+/// slack means fewer re-bins but a wider candidate ring; the ring cost is
+/// paid on every query and re-bins only per drifted leg, so a small 5%
+/// keeps the prefilter tight.
+constexpr double kSlackFraction = 0.05;
+
+}  // namespace
+
+NodeId World::add_node(Node node) {
+  nodes_.push_back(std::move(node));
+  index_dirty_ = true;
+  for (const auto& [token, fn] : size_listeners_) fn(nodes_.size());
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
 
 NodeId World::add_actuator(Point pos, double range) {
-  nodes_.push_back(Node{NodeKind::kActuator, range, true, Waypoint(pos)});
-  return static_cast<NodeId>(nodes_.size() - 1);
+  return add_node(Node{NodeKind::kActuator, range, true, Waypoint(pos)});
 }
 
 NodeId World::add_sensor(Point pos, double range, double min_speed,
                          double max_speed, Rng rng) {
-  nodes_.push_back(Node{NodeKind::kSensor, range, true,
-                        Waypoint(pos, area_, min_speed, max_speed, rng)});
-  return static_cast<NodeId>(nodes_.size() - 1);
+  return add_node(Node{NodeKind::kSensor, range, true,
+                       Waypoint(pos, area_, min_speed, max_speed, rng)});
 }
 
 NodeId World::add_static_sensor(Point pos, double range) {
-  nodes_.push_back(Node{NodeKind::kSensor, range, true, Waypoint(pos)});
-  return static_cast<NodeId>(nodes_.size() - 1);
+  return add_node(Node{NodeKind::kSensor, range, true, Waypoint(pos)});
 }
 
 NodeKind World::kind(NodeId id) const {
@@ -61,15 +74,16 @@ bool World::can_reach(NodeId from, NodeId to) {
   return within_range(position(from), position(to), range(from));
 }
 
+void World::reachable_from(NodeId from, std::vector<NodeId>& out,
+                           double range_override) {
+  out.clear();
+  visit_reachable(
+      from, [&out](NodeId i) { out.push_back(i); }, range_override);
+}
+
 std::vector<NodeId> World::reachable_from(NodeId from, double range_override) {
   std::vector<NodeId> out;
-  if (!alive(from)) return out;
-  const Point p = position(from);
-  const double r = range_override > 0 ? range_override : range(from);
-  for (NodeId i = 0; static_cast<std::size_t>(i) < nodes_.size(); ++i) {
-    if (i == from || !alive(i)) continue;
-    if (within_range(p, position(i), r)) out.push_back(i);
-  }
+  reachable_from(from, out, range_override);
   return out;
 }
 
@@ -81,10 +95,111 @@ std::vector<NodeId> World::all_of(NodeKind k) const {
   return out;
 }
 
+void World::set_spatial_index_enabled(bool enabled) {
+  if (enabled && !index_enabled_) index_dirty_ = true;
+  index_enabled_ = enabled;
+}
+
+int World::add_size_listener(std::function<void(std::size_t)> fn) {
+  const int token = next_listener_token_++;
+  fn(nodes_.size());
+  size_listeners_.emplace_back(token, std::move(fn));
+  return token;
+}
+
+void World::remove_size_listener(int token) {
+  std::erase_if(size_listeners_,
+                [token](const auto& entry) { return entry.first == token; });
+}
+
+bool World::ensure_index() {
+  const Time now = sim_->now();
+  if (index_dirty_) rebuild_index(now);
+  if (!index_usable_) return false;
+  index_.revalidate(now, [this, now](NodeId id) { bin_node(id, now); });
+  return true;
+}
+
+void World::rebuild_index(Time now) {
+  index_dirty_ = false;
+  double max_range = 0;
+  double max_speed = 0;
+  for (const Node& n : nodes_) {
+    max_range = std::max(max_range, n.range);
+    max_speed = std::max(max_speed, n.motion.max_speed());
+  }
+  index_usable_ = !nodes_.empty() && max_range > 0;
+  if (!index_usable_) return;
+
+  // The prefilter scans every cell intersecting the query rect, so its
+  // cost is ~density * (2r + 2*cell)^2: max-range cells would guarantee a
+  // 3x3 block but make short-range queries (the common case -- sensor
+  // range is well below actuator range) scan far past their radius.  A
+  // quarter of max range keeps the over-scan ring thin; the side/64 floor
+  // bounds the grid at 64x64 cells for sparse wide-area deployments.
+  const double side = std::max(area_.width(), area_.height());
+  const double cell = std::max(max_range / 4.0, side / 64.0);
+  const double slack = max_range * kSlackFraction;
+  index_.start_build(area_, cell, slack, max_speed, nodes_.size());
+  actuator_index_.start_build(area_, max_range, /*slack=*/0, /*max_speed=*/0,
+                              nodes_.size());
+  const Time kForever = std::numeric_limits<Time>::infinity();
+  for (NodeId i = 0; static_cast<std::size_t>(i) < nodes_.size(); ++i) {
+    bin_node(i, now);
+    if (nodes_[static_cast<std::size_t>(i)].kind == NodeKind::kActuator) {
+      actuator_index_.update(
+          i, nodes_[static_cast<std::size_t>(i)].motion.position_at(now),
+          kForever, now);
+    }
+  }
+  index_stats_.rebuilds += 1;
+}
+
+void World::bin_node(NodeId id, Time now) {
+  Node& n = nodes_[static_cast<std::size_t>(id)];
+  const Point p = n.motion.position_at(now);
+  Time valid_until = std::numeric_limits<Time>::infinity();
+  if (n.motion.is_mobile()) {
+    // The binning is trusted until the node could have drifted `slack`
+    // metres on its current leg, or the leg ends (new direction/speed) --
+    // whichever comes first.  A pause (speed 0) is trusted to the leg end.
+    const double speed = n.motion.current_speed();
+    const Time leg_end = n.motion.segment_end();
+    valid_until =
+        speed > 0 ? std::min(leg_end, now + index_.slack() / speed) : leg_end;
+  }
+  index_.update(id, p, valid_until, now);
+  index_stats_.rebins += 1;
+}
+
 NodeId World::closest_actuator(NodeId id) {
+  const Point p = position(id);
+  if (index_enabled_ && ensure_index()) {
+    // Ring search over the static actuator grid: every point of a
+    // Chebyshev ring-k cell lies >= (k-1)*cell metres away, so once that
+    // bound exceeds the best hit no farther ring can improve on it.
+    NodeId best = -1;
+    double best_d = std::numeric_limits<double>::infinity();
+    const double cell = actuator_index_.cell_size();
+    const int rings = actuator_index_.max_rings();
+    for (int k = 0; k <= rings; ++k) {
+      if (best >= 0) {
+        const double lower = (k - 1) * cell;
+        if (lower > 0 && lower * lower > best_d) break;
+      }
+      actuator_index_.visit_ring(p, k, [&](NodeId i) {
+        if (i == id || !alive(i)) return;
+        const double d = distance_sq(p, position(i));
+        if (d < best_d || (d == best_d && i < best)) {
+          best_d = d;
+          best = i;
+        }
+      });
+    }
+    return best;
+  }
   NodeId best = -1;
   double best_d = std::numeric_limits<double>::infinity();
-  const Point p = position(id);
   for (NodeId i = 0; static_cast<std::size_t>(i) < nodes_.size(); ++i) {
     const auto& n = nodes_[static_cast<std::size_t>(i)];
     if (n.kind != NodeKind::kActuator || !n.alive || i == id) continue;

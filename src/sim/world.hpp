@@ -1,14 +1,28 @@
 // The physical deployment: node kinds, positions (via mobility), liveness
 // and range queries.
+//
+// Geometric queries go through a uniform-grid SpatialIndex kept
+// incrementally consistent under random-waypoint mobility; results are
+// bit-identical to the linear scan (candidates are sorted into ascending
+// NodeId order and re-checked against exact live positions).
+// set_spatial_index_enabled(false) restores the O(n) scan -- the
+// property tests cross-check both paths.
 #pragma once
 
+#include <bit>
+#include <cassert>
 #include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/geometry.hpp"
 #include "common/rng.hpp"
 #include "sim/mobility.hpp"
 #include "sim/simulator.hpp"
+#include "sim/spatial_index.hpp"
 
 namespace refer::sim {
 class Tracer;  // sim/trace.hpp
@@ -16,10 +30,50 @@ class Tracer;  // sim/trace.hpp
 
 namespace refer::sim {
 
-/// Physical node index; dense, assigned by World::add_*.
-using NodeId = int;
-
 enum class NodeKind { kSensor, kActuator };
+
+/// A pool of NodeId buffers leased to in-flight queries.  Queries re-enter:
+/// a flood receive handler fired while iterating one neighbour set starts a
+/// fresh broadcast that needs its own, so a single scratch vector would be
+/// clobbered mid-iteration.  Leases nest like a stack; buffers are never
+/// freed, so steady-state queries allocate nothing.
+class ScratchPool {
+ public:
+  class Lease {
+   public:
+    Lease(ScratchPool& pool, std::vector<NodeId>& buf) noexcept
+        : pool_(&pool), buf_(&buf) {}
+    Lease(Lease&& o) noexcept : pool_(o.pool_), buf_(o.buf_) {
+      o.pool_ = nullptr;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    Lease& operator=(Lease&&) = delete;
+    ~Lease() {
+      if (pool_) --pool_->depth_;
+    }
+    [[nodiscard]] std::vector<NodeId>& operator*() const noexcept {
+      return *buf_;
+    }
+
+   private:
+    ScratchPool* pool_;
+    std::vector<NodeId>* buf_;
+  };
+
+  [[nodiscard]] Lease acquire() {
+    if (depth_ == buffers_.size())
+      buffers_.push_back(std::make_unique<std::vector<NodeId>>());
+    std::vector<NodeId>& buf = *buffers_[depth_++];
+    buf.clear();
+    return Lease(*this, buf);
+  }
+
+ private:
+  // unique_ptr keeps leased buffers stable when the pool vector grows.
+  std::vector<std::unique_ptr<std::vector<NodeId>>> buffers_;
+  std::size_t depth_ = 0;
+};
 
 /// Deployment area + node population.  Owns per-node mobility state and
 /// liveness flags; all geometric queries evaluate positions at the current
@@ -59,23 +113,123 @@ class World {
   void set_tracer(Tracer* tracer) noexcept { tracer_ = tracer; }
 
   /// True iff `from` can reach `to` right now: both alive and the distance
-  /// is within the *sender's* transmission range.
+  /// is within the *sender's* transmission range.  Already O(1) -- a
+  /// single pairwise check needs no index.
   [[nodiscard]] bool can_reach(NodeId from, NodeId to);
 
-  /// All alive nodes within `from`'s transmission range (excluding
-  /// itself).  O(n) scan; fine for the evaluation scales (<= ~1000).
+  /// Visits every alive node within `from`'s transmission range (excluding
+  /// itself) in ascending NodeId order -- identical ids and order to the
+  /// linear scan, but via the spatial index and without allocating.
   /// `range_override` > 0 models transmit power control (used by the
   /// embedding protocol's path queries); 0 uses the node's own range.
+  template <typename Fn>
+  void visit_reachable(NodeId from, Fn&& fn, double range_override = 0) {
+    if (!alive(from)) return;
+    const Point p = position(from);
+    const double r = range_override > 0 ? range_override : range(from);
+    if (index_enabled_ && ensure_index()) {
+      ScratchPool::Lease lease = scratch_.acquire();
+      std::vector<NodeId>& buf = *lease;
+      index_.collect(p, r, buf);
+      sort_ids(buf);
+      index_stats_.queries += 1;
+      index_stats_.candidates += buf.size();
+      const Time now = sim_->now();
+      for (NodeId i : buf) {
+        if (i == from) continue;
+        Node& n = nodes_[static_cast<std::size_t>(i)];
+        if (!n.alive) continue;
+        if (within_range(p, n.motion.position_at(now), r)) fn(i);
+      }
+      return;
+    }
+    for (NodeId i = 0; static_cast<std::size_t>(i) < nodes_.size(); ++i) {
+      if (i == from || !alive(i)) continue;
+      if (within_range(p, position(i), r)) fn(i);
+    }
+  }
+
+  /// reachable_from into a caller-owned buffer (cleared first).
+  void reachable_from(NodeId from, std::vector<NodeId>& out,
+                      double range_override = 0);
+
+  /// Allocating convenience form of the above.
   [[nodiscard]] std::vector<NodeId> reachable_from(NodeId from,
                                                    double range_override = 0);
 
   /// All node ids of one kind.
   [[nodiscard]] std::vector<NodeId> all_of(NodeKind kind) const;
 
-  /// The alive actuator physically closest to `id` (or -1 if none).
+  /// The alive actuator physically closest to `id` (or -1 if none).  Ties
+  /// go to the lowest id, exactly like the linear scan.
   [[nodiscard]] NodeId closest_actuator(NodeId id);
 
+  /// Toggles the spatial index (on by default).  Off restores the O(n)
+  /// linear scans; results are bit-identical either way.
+  void set_spatial_index_enabled(bool enabled);
+  [[nodiscard]] bool spatial_index_enabled() const noexcept {
+    return index_enabled_;
+  }
+
+  /// Leases a reusable NodeId buffer for callers that need to materialise
+  /// a neighbour set without allocating (e.g. broadcast delivery).
+  [[nodiscard]] ScratchPool::Lease lease_scratch() {
+    return scratch_.acquire();
+  }
+
+  /// Index health counters, exported as world.grid.* observability.
+  struct IndexStats {
+    std::uint64_t queries = 0;     ///< indexed range queries served
+    std::uint64_t candidates = 0;  ///< ids surviving the grid prefilter
+    std::uint64_t rebins = 0;      ///< mobility-driven cell moves
+    std::uint64_t rebuilds = 0;    ///< full index (re)builds
+  };
+  [[nodiscard]] const IndexStats& index_stats() const noexcept {
+    return index_stats_;
+  }
+
+  /// Registers a callback invoked with the node count immediately and then
+  /// after every add_* call; returns a token for remove_size_listener.
+  /// Lets per-node side tables (Channel's medium state) size themselves
+  /// once at attach time instead of checking on every hot-path call.
+  int add_size_listener(std::function<void(std::size_t)> fn);
+  void remove_size_listener(int token);
+
  private:
+  /// Sorts a candidate buffer into ascending NodeId order.  Candidates
+  /// are *unique* (each node is binned in exactly one cell), so instead
+  /// of a comparison sort the ids are marked in a bitmap and swept out in
+  /// word order -- O(k + n/64) with no data-dependent branches, several
+  /// times cheaper than sorting a radio neighbourhood.  Tiny buffers
+  /// skip the word sweep; insertion sort wins there.
+  void sort_ids(std::vector<NodeId>& buf) {
+    if (buf.size() <= 8) {
+      for (std::size_t k = 1; k < buf.size(); ++k) {
+        const NodeId v = buf[k];
+        std::size_t j = k;
+        for (; j > 0 && buf[j - 1] > v; --j) buf[j] = buf[j - 1];
+        buf[j] = v;
+      }
+      return;
+    }
+    const std::size_t words = nodes_.size() / 64 + 1;
+    if (mark_.size() < words) mark_.resize(words, 0);
+    for (const NodeId i : buf)
+      mark_[static_cast<std::size_t>(i) >> 6] |= std::uint64_t{1} << (i & 63);
+    std::size_t k = 0;
+    for (std::size_t w = 0; w < words; ++w) {
+      std::uint64_t m = mark_[w];
+      if (m == 0) continue;
+      mark_[w] = 0;  // clear as we sweep: marks never outlive the call
+      const NodeId base = static_cast<NodeId>(w << 6);
+      do {
+        buf[k++] = base + std::countr_zero(m);
+        m &= m - 1;
+      } while (m != 0);
+    }
+    assert(k == buf.size());
+  }
+
   struct Node {
     NodeKind kind;
     double range;
@@ -83,10 +237,31 @@ class World {
     Waypoint motion;
   };
 
+  NodeId add_node(Node node);
+  /// Revalidates (or lazily rebuilds) the index for the current time;
+  /// false when no index can exist (no nodes / zero ranges).
+  bool ensure_index();
+  void rebuild_index(Time now);
+  /// (Re)bins one node at its exact position with a fresh drift deadline.
+  void bin_node(NodeId id, Time now);
+
   Rect area_;
   Simulator* sim_;
   Tracer* tracer_ = nullptr;
   std::vector<Node> nodes_;
+
+  bool index_enabled_ = true;
+  bool index_dirty_ = true;
+  bool index_usable_ = false;
+  SpatialIndex index_;
+  SpatialIndex actuator_index_;  ///< static, never revalidated
+  ScratchPool scratch_;
+  std::vector<std::uint64_t> mark_;  ///< sort_ids scratch bitmap
+  IndexStats index_stats_;
+
+  std::vector<std::pair<int, std::function<void(std::size_t)>>>
+      size_listeners_;
+  int next_listener_token_ = 0;
 };
 
 }  // namespace refer::sim

@@ -1,0 +1,208 @@
+// The spatial index's one non-negotiable contract: grid-indexed queries
+// return *exactly* what the linear scan returns -- same ids, same order,
+// same ties -- on mobile worlds at arbitrary times.  Plus the route-cache
+// equivalence and the end-to-end determinism proof (a full scenario run
+// with the index on vs. off produces identical RunMetrics).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "harness/experiment.hpp"
+#include "kautz/graph.hpp"
+#include "kautz/route_cache.hpp"
+#include "kautz/routing.hpp"
+#include "sim/simulator.hpp"
+#include "sim/world.hpp"
+
+namespace refer {
+namespace {
+
+using sim::NodeId;
+
+/// Builds a randomized world: random area, a handful of static actuators,
+/// a mix of mobile and static sensors with varying ranges.
+struct RandomWorld {
+  RandomWorld(std::uint64_t seed, sim::Simulator& sim) : rng(seed) {
+    const double side = rng.uniform(300, 1500);
+    world = std::make_unique<sim::World>(
+        Rect{{0, 0}, {side, side}}, sim);
+    const int n_act = 2 + static_cast<int>(rng.below(5));
+    for (int i = 0; i < n_act; ++i) {
+      world->add_actuator({rng.uniform(0, side), rng.uniform(0, side)},
+                          rng.uniform(150, 300));
+    }
+    const int n_sensors = 30 + static_cast<int>(rng.below(120));
+    for (int i = 0; i < n_sensors; ++i) {
+      const Point p{rng.uniform(0, side), rng.uniform(0, side)};
+      const double range = rng.uniform(60, 140);
+      if (rng.chance(0.7)) {
+        world->add_sensor(p, range, 0, rng.uniform(0.5, 8), rng.split());
+      } else {
+        world->add_static_sensor(p, range);
+      }
+    }
+    // A few dead nodes exercise the liveness filter.
+    for (int i = 0; i < 3; ++i) {
+      world->set_alive(
+          static_cast<NodeId>(rng.below(world->size())), false);
+    }
+  }
+
+  Rng rng;
+  std::unique_ptr<sim::World> world;
+};
+
+TEST(SpatialIndexProperty, GridMatchesLinearScanOnRandomMobileWorlds) {
+  int samples = 0;
+  for (std::uint64_t seed = 1; samples < 120; ++seed) {
+    sim::Simulator sim;
+    RandomWorld rw(seed * 2654435761u + 11, sim);
+    sim::World& world = *rw.world;
+    // Advance to a few monotonically increasing random times; query at
+    // each with both paths and compare exactly.
+    double t = 0;
+    for (int step = 0; step < 3; ++step, ++samples) {
+      t += rw.rng.uniform(0, 40);
+      sim.run_until(t);
+      for (int q = 0; q < 8; ++q) {
+        const auto from = static_cast<NodeId>(rw.rng.below(world.size()));
+        const double range_override =
+            rw.rng.chance(0.3) ? rw.rng.uniform(30, 400) : 0;
+
+        world.set_spatial_index_enabled(true);
+        const std::vector<NodeId> grid =
+            world.reachable_from(from, range_override);
+        const NodeId grid_act = world.closest_actuator(from);
+
+        world.set_spatial_index_enabled(false);
+        const std::vector<NodeId> linear =
+            world.reachable_from(from, range_override);
+        const NodeId linear_act = world.closest_actuator(from);
+
+        ASSERT_EQ(grid, linear)
+            << "seed=" << seed << " t=" << t << " from=" << from
+            << " override=" << range_override;
+        ASSERT_EQ(grid_act, linear_act)
+            << "seed=" << seed << " t=" << t << " from=" << from;
+      }
+    }
+  }
+}
+
+TEST(SpatialIndexProperty, SurvivesLivenessFlipsAndLateNodeAdds) {
+  sim::Simulator sim;
+  sim::World world(Rect{{0, 0}, {600, 600}}, sim);
+  Rng rng(77);
+  world.add_actuator({300, 300}, 250);
+  for (int i = 0; i < 60; ++i) {
+    world.add_sensor({rng.uniform(0, 600), rng.uniform(0, 600)}, 100, 0, 4,
+                     rng.split());
+  }
+  sim.run_until(5);
+  (void)world.reachable_from(0);  // force an index build
+  // Nodes added after the build must show up in subsequent queries.
+  const NodeId late = world.add_static_sensor({310, 310}, 100);
+  world.set_alive(3, false);
+  sim.run_until(9);
+  for (NodeId from = 0; static_cast<std::size_t>(from) < world.size();
+       ++from) {
+    world.set_spatial_index_enabled(true);
+    const auto grid = world.reachable_from(from);
+    world.set_spatial_index_enabled(false);
+    const auto linear = world.reachable_from(from);
+    ASSERT_EQ(grid, linear) << "from=" << from;
+  }
+  world.set_spatial_index_enabled(true);
+  EXPECT_EQ(world.closest_actuator(late), 0);
+  EXPECT_GE(world.index_stats().rebuilds, 1u);
+}
+
+TEST(RouteCache, AgreesWithDisjointRoutesAndCountsHits) {
+  kautz::RouteCache cache(64);
+  std::vector<kautz::Route> out;
+  for (const auto [d, k] : {std::pair{2, 3}, {3, 3}, {4, 4}}) {
+    const kautz::Graph g(d, k);
+    const auto n = g.node_count();
+    for (std::uint64_t i = 0; i < 200; ++i) {
+      const kautz::Label u =
+          kautz::Label::from_index((i * 131) % n, d, k);
+      kautz::Label v =
+          kautz::Label::from_index((i * 7919 + 13) % n, d, k);
+      if (v == u) v = kautz::Label::from_index((i * 7919 + 14) % n, d, k);
+      cache.lookup(d, u, v, out);
+      const auto expected = kautz::disjoint_routes(d, u, v);
+      ASSERT_EQ(out.size(), expected.size());
+      for (std::size_t r = 0; r < out.size(); ++r) {
+        EXPECT_EQ(out[r].successor, expected[r].successor);
+        EXPECT_EQ(out[r].path_class, expected[r].path_class);
+        EXPECT_EQ(out[r].nominal_length, expected[r].nominal_length);
+        EXPECT_EQ(out[r].forced_second_hop, expected[r].forced_second_hop);
+      }
+      // A repeat of the same pair must hit.
+      const std::uint64_t hits_before = cache.hits();
+      cache.lookup(d, u, v, out);
+      EXPECT_EQ(cache.hits(), hits_before + 1);
+    }
+  }
+  EXPECT_GT(cache.hits(), 0u);
+  EXPECT_GT(cache.misses(), 0u);
+}
+
+/// Strips the world.grid.* index-health counters -- the only
+/// observability entries allowed to differ between index on and off.
+std::vector<StatsRegistry::Entry> without_grid_counters(
+    std::vector<StatsRegistry::Entry> entries) {
+  std::erase_if(entries, [](const StatsRegistry::Entry& e) {
+    return e.name.rfind("world.grid.", 0) == 0;
+  });
+  return entries;
+}
+
+TEST(SpatialIndexDeterminism, Fig04ScenarioIdenticalWithIndexOnAndOff) {
+  harness::Scenario sc;
+  sc.n_sensors = 120;
+  sc.warmup_s = 5;
+  sc.measure_s = 25;
+  sc.faulty_nodes = 5;  // liveness churn on top of mobility
+  sc.seed = 9;
+
+  for (const harness::SystemKind kind :
+       {harness::SystemKind::kRefer, harness::SystemKind::kKautzOverlay}) {
+    sc.spatial_index = true;
+    const harness::RunMetrics on = harness::run_once(kind, sc);
+    sc.spatial_index = false;
+    const harness::RunMetrics off = harness::run_once(kind, sc);
+
+    ASSERT_TRUE(on.build_ok);
+    ASSERT_TRUE(off.build_ok);
+    EXPECT_EQ(on.packets_sent, off.packets_sent);
+    EXPECT_EQ(on.packets_delivered, off.packets_delivered);
+    EXPECT_EQ(on.qos_delivered, off.qos_delivered);
+    EXPECT_EQ(on.qos_throughput_kbps, off.qos_throughput_kbps);
+    EXPECT_EQ(on.avg_delay_ms, off.avg_delay_ms);
+    EXPECT_EQ(on.delay_p50_ms, off.delay_p50_ms);
+    EXPECT_EQ(on.delay_p95_ms, off.delay_p95_ms);
+    EXPECT_EQ(on.delay_p99_ms, off.delay_p99_ms);
+    EXPECT_EQ(on.delivery_ratio, off.delivery_ratio);
+    EXPECT_EQ(on.comm_energy_j, off.comm_energy_j);
+    EXPECT_EQ(on.construction_energy_j, off.construction_energy_j);
+    EXPECT_EQ(on.total_energy_j, off.total_energy_j);
+    EXPECT_EQ(on.qos_timeline_kbps, off.qos_timeline_kbps);
+
+    const auto obs_on = without_grid_counters(on.observability);
+    const auto obs_off = without_grid_counters(off.observability);
+    ASSERT_EQ(obs_on.size(), obs_off.size());
+    for (std::size_t i = 0; i < obs_on.size(); ++i) {
+      EXPECT_EQ(obs_on[i].name, obs_off[i].name);
+      EXPECT_EQ(obs_on[i].count, obs_off[i].count) << obs_on[i].name;
+      EXPECT_EQ(obs_on[i].sum, obs_off[i].sum) << obs_on[i].name;
+      EXPECT_EQ(obs_on[i].p50, obs_off[i].p50) << obs_on[i].name;
+      EXPECT_EQ(obs_on[i].p99, obs_off[i].p99) << obs_on[i].name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace refer

@@ -34,6 +34,7 @@ void print_usage(std::FILE* out) {
                "  --json PATH     write a structured results document\n"
                "  --trace DIR     write per-job JSONL traces to DIR/<bench>/\n"
                "  --profile       kernel profiler (per-event-tag wall-time)\n"
+               "  --no-spatial-index  O(n) world scans instead of the grid\n"
                "  --quick         reps=1, measure=45 (smoke runs)\n"
                "  --full          reps=5, measure=200 (paper-closer scale)\n");
 }
