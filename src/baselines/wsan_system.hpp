@@ -10,6 +10,10 @@
 #include "common/stats_registry.hpp"
 #include "sim/world.hpp"
 
+namespace refer::core {
+class ReferSystem;
+}  // namespace refer::core
+
 namespace refer::baselines {
 
 using sim::NodeId;
@@ -46,6 +50,12 @@ class WsanSystem {
   /// `registry` at end of run.  Default: nothing to export.
   virtual void export_stats(StatsRegistry& registry) const {
     (void)registry;
+  }
+
+  /// The REFER facade behind this system, when it has one (the invariant
+  /// engine validates its topology at run end); null for the baselines.
+  [[nodiscard]] virtual core::ReferSystem* refer_system() noexcept {
+    return nullptr;
   }
 };
 

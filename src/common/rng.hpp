@@ -26,6 +26,9 @@ class Rng {
   using result_type = std::uint64_t;
 
   /// Seeds the full 256-bit state from a single 64-bit seed via SplitMix64.
+  /// The default is a fixed constant (the 64-bit golden ratio), never the
+  /// wall clock: a forgotten seed yields a repeatable stream, not a flaky
+  /// one.
   explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
 
   static constexpr result_type min() noexcept { return 0; }

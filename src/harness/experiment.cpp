@@ -43,8 +43,9 @@ class ReferAdapter final : public WsanSystem {
  public:
   ReferAdapter(sim::Simulator& sim, sim::World& world, sim::Channel& channel,
                sim::EnergyTracker& energy, Rng rng,
-               sim::Tracer* tracer = nullptr)
-      : system_(sim, world, channel, energy, rng) {
+               sim::Tracer* tracer = nullptr,
+               core::ReferConfig config = {})
+      : system_(sim, world, channel, energy, rng, config) {
     if (tracer) system_.set_tracer(tracer);
   }
 
@@ -69,6 +70,10 @@ class ReferAdapter final : public WsanSystem {
   }
 
   [[nodiscard]] const char* name() const override { return "REFER"; }
+
+  [[nodiscard]] core::ReferSystem* refer_system() noexcept override {
+    return &system_;
+  }
 
   void export_stats(StatsRegistry& registry) const override {
     const core::ReferRouter::Stats& s = system_.router().stats();
@@ -103,6 +108,7 @@ struct Deployment {
         world({{0, 0}, {sc.area_side_m, sc.area_side_m}}, sim),
         channel(sim, world, energy, Rng(sc.seed ^ 0xC0FFEE),
                 sim::ChannelConfig{
+                    .loss_probability = sc.loss_probability,
                     .mac = sc.csma ? sim::MacMode::kCsma
                                    : sim::MacMode::kNullMac}),
         flooder(sim, world, channel) {
@@ -116,6 +122,10 @@ struct Deployment {
     if (!sc.trace_path.empty()) {
       trace_writer = std::make_unique<sim::JsonlTraceWriter>(sc.trace_path);
       tracer.set_sink(std::ref(*trace_writer));
+    }
+    if (!sc.trace_path.empty() || sc.observer) {
+      // An observer without a trace file still sees every record through
+      // the tracer tap it attaches in on_run_start.
       channel.set_tracer(&tracer);
       world.set_tracer(&tracer);
     }
@@ -177,10 +187,13 @@ struct Deployment {
 
   std::unique_ptr<WsanSystem> make_system(SystemKind kind) {
     switch (kind) {
-      case SystemKind::kRefer:
+      case SystemKind::kRefer: {
+        core::ReferConfig config;
+        config.router.planted_bug = scenario.planted_bug;
         return std::make_unique<ReferAdapter>(sim, world, channel, energy,
                                               Rng(scenario.seed ^ 0x5EED),
-                                              &tracer);
+                                              &tracer, config);
+      }
       case SystemKind::kDaTree:
         return std::make_unique<baselines::DaTree>(sim, world, channel,
                                                    flooder);
@@ -419,7 +432,24 @@ RunMetrics run_once(SystemKind kind, const Scenario& scenario) {
   Deployment dep(scenario);
   auto system = dep.make_system(kind);
   Driver driver(dep, *system);
-  return driver.run();
+  if (!scenario.observer) return driver.run();
+  RunContext ctx;
+  ctx.kind = kind;
+  ctx.scenario = &dep.scenario;
+  ctx.sim = &dep.sim;
+  ctx.world = &dep.world;
+  ctx.channel = &dep.channel;
+  ctx.energy = &dep.energy;
+  ctx.tracer = &dep.tracer;
+  ctx.trace_writer = dep.trace_writer.get();
+  ctx.stats = &dep.stats;
+  ctx.refer_system = system->refer_system();
+  ctx.actuators = &dep.actuators;
+  ctx.sensors = &dep.sensors;
+  scenario.observer->on_run_start(ctx);
+  const RunMetrics metrics = driver.run();
+  scenario.observer->on_run_end(ctx, metrics);
+  return metrics;
 }
 
 namespace {

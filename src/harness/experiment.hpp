@@ -10,6 +10,24 @@
 #include "common/stats.hpp"
 #include "harness/metrics.hpp"
 #include "harness/scenario.hpp"
+#include "sim/spatial_index.hpp"  // sim::NodeId
+
+namespace refer::sim {
+class Simulator;
+class World;
+class Channel;
+class EnergyTracker;
+class Tracer;
+class JsonlTraceWriter;
+}  // namespace refer::sim
+
+namespace refer::core {
+class ReferSystem;
+}  // namespace refer::core
+
+namespace refer {
+class StatsRegistry;  // common/stats_registry.hpp
+}  // namespace refer
 
 namespace refer::harness {
 
@@ -20,6 +38,41 @@ enum class SystemKind { kRefer, kDaTree, kDDear, kKautzOverlay };
 inline constexpr SystemKind kAllSystems[] = {
     SystemKind::kRefer, SystemKind::kDaTree, SystemKind::kDDear,
     SystemKind::kKautzOverlay};
+
+/// Read-only view into a live deployment, handed to a RunObserver.  All
+/// pointers outlive the observer callbacks but NOT the run_once call
+/// that produced them.  `refer_system` is null for non-REFER systems.
+struct RunContext {
+  SystemKind kind = SystemKind::kRefer;
+  const Scenario* scenario = nullptr;
+  sim::Simulator* sim = nullptr;
+  sim::World* world = nullptr;
+  sim::Channel* channel = nullptr;
+  sim::EnergyTracker* energy = nullptr;
+  sim::Tracer* tracer = nullptr;
+  /// The run's JSONL writer when Scenario::trace_path is set (flush it
+  /// before reading the file back mid-run); null otherwise.
+  sim::JsonlTraceWriter* trace_writer = nullptr;
+  StatsRegistry* stats = nullptr;
+  core::ReferSystem* refer_system = nullptr;
+  const std::vector<sim::NodeId>* actuators = nullptr;
+  const std::vector<sim::NodeId>* sensors = nullptr;
+};
+
+/// Single-run hook around run_once (Scenario::observer).  on_run_start
+/// fires after the deployment is wired but before construction begins
+/// (attach tracer taps here); on_run_end fires after the metrics are
+/// collected, while the whole deployment is still alive.  Observers are
+/// single-run-local, like the Tracer: one instance per concurrent job.
+class RunObserver {
+ public:
+  virtual ~RunObserver() = default;
+  virtual void on_run_start(const RunContext& ctx) { (void)ctx; }
+  virtual void on_run_end(const RunContext& ctx, const RunMetrics& metrics) {
+    (void)ctx;
+    (void)metrics;
+  }
+};
 
 /// Runs one system once under the scenario (seed comes from the
 /// scenario).  Deterministic: same scenario -> same metrics.

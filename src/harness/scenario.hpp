@@ -7,6 +7,8 @@
 
 namespace refer::harness {
 
+class RunObserver;  // harness/experiment.hpp
+
 /// All knobs of one simulated deployment + workload.  Defaults reproduce
 /// the paper's setup scaled for wall-clock speed: 500 m x 500 m, 5
 /// actuators (quincunx -> 4 K(2,3) cells), 200 i.i.d. sensors, ranges
@@ -57,6 +59,19 @@ struct Scenario {
   int faulty_nodes = 0;
   double fault_period_s = 10;
 
+  /// Link flaps: probability that any individual frame is lost on the
+  /// air (sim::ChannelConfig::loss_probability).  0 = perfect links; the
+  /// scenario fuzzer (src/verify) uses this to stress Theorem-3.8
+  /// fail-over under random loss.
+  double loss_probability = 0;
+
+  /// TESTING ONLY -- 0 in production.  Non-zero plants a known bug in the
+  /// system under test so the fuzzer / invariant engine can prove it
+  /// catches real divergences (src/verify):
+  ///   1 = REFER fail-over records a wrong Theorem 3.8 nominal length.
+  /// Serialized into results / repro.json so replays reproduce the bug.
+  int planted_bug = 0;
+
   std::uint64_t seed = 1;
 
   /// Medium-access ablation: true = CSMA local medium sharing (default,
@@ -88,6 +103,13 @@ struct Scenario {
   /// observability snapshot.  Costs two clock reads per event; off by
   /// default so benchmark numbers stay undisturbed.
   bool profile = false;
+
+  /// Optional single-run hook (NOT serialized): run_once invokes the
+  /// observer around the simulation with full access to the deployment
+  /// internals.  The invariant engine (src/verify) attaches here.  The
+  /// observer is used only on the thread executing this scenario's
+  /// run_once, so parallel jobs must each carry their own instance.
+  RunObserver* observer = nullptr;
 };
 
 }  // namespace refer::harness

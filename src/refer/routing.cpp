@@ -283,6 +283,10 @@ void ReferRouter::try_routes(Cid cid, Label label, NodeId node,
       if (config_.failover == FailoverMode::kTheorem38) {
         rec.next_label = routes[next_choice].successor.to_string();
         rec.nominal_len = routes[next_choice].nominal_length;
+        // Planted bug 1: off-by-one nominal length in the trace.  The
+        // failover audit re-derives the Theorem 3.8 routes and must flag
+        // every record (see src/verify and RouterConfig::planted_bug).
+        if (config_.planted_bug == 1) ++rec.nominal_len;
       }
       tracer_->emit(rec);
     }

@@ -49,6 +49,11 @@ struct RouterConfig {
   FailoverMode failover = FailoverMode::kTheorem38;
   int route_gen_ttl = 8;          ///< flood TTL for kRouteGeneration
   double route_gen_deadline_s = 0.5;
+  /// TESTING ONLY (harness::Scenario::planted_bug).  1 = report a wrong
+  /// Theorem 3.8 nominal length in fail-over trace records, so the
+  /// verification engine (src/verify) can prove its trace audit catches
+  /// real divergences.  0 in production.
+  int planted_bug = 0;
 };
 
 /// Outcome of one end-to-end send.

@@ -38,6 +38,22 @@ class ParallelExecutor {
   [[nodiscard]] harness::RunMetrics run_once(
       harness::SystemKind kind, const harness::Scenario& scenario);
 
+  /// One heterogeneous unit of run_batch: any (system, scenario) pair.
+  struct BatchJob {
+    harness::SystemKind system = harness::SystemKind::kRefer;
+    harness::Scenario scenario;
+  };
+
+  /// Executes every job -- on the thread pool for jobs() > 1 -- and
+  /// returns the metrics in input order; one JobRecord per job is
+  /// appended to records() in the same order regardless of schedule.
+  /// Used by the scenario fuzzer (src/verify), whose cases vary every
+  /// scenario knob and so do not fit the homogeneous sweep shapes.  A
+  /// job's Scenario::observer runs on the worker executing that job:
+  /// each job must carry its own observer instance.
+  [[nodiscard]] std::vector<harness::RunMetrics> run_batch(
+      const std::vector<BatchJob>& batch);
+
   /// Every job executed so far, in deterministic (x, system, rep) order
   /// per call, calls appended in invocation order.
   [[nodiscard]] const std::vector<harness::JobRecord>& records()

@@ -109,6 +109,8 @@ void write_scenario(JsonWriter& w, const harness::Scenario& sc) {
   w.kv("qos_deadline_s", sc.qos_deadline_s);
   w.kv("faulty_nodes", sc.faulty_nodes);
   w.kv("fault_period_s", sc.fault_period_s);
+  w.kv("loss_probability", sc.loss_probability);
+  w.kv("planted_bug", sc.planted_bug);
   w.kv("seed", sc.seed);
   w.kv("csma", sc.csma);
   w.kv("spatial_index", sc.spatial_index);

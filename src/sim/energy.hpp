@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace refer::sim {
@@ -54,6 +55,17 @@ class EnergyTracker {
   /// Per-node spend across all buckets.
   [[nodiscard]] double node_total(std::size_t node) const;
 
+  /// Number of charge_tx / charge_rx calls so far.  The invariant engine
+  /// (src/verify) re-derives the bucket drain from these counts -- every
+  /// joule must be explained by tx_packets * tx_j + rx_packets * rx_j,
+  /// exactly (both sides are multiples of 0.25 J, so no rounding).
+  [[nodiscard]] std::uint64_t tx_packets() const noexcept {
+    return tx_packets_;
+  }
+  [[nodiscard]] std::uint64_t rx_packets() const noexcept {
+    return rx_packets_;
+  }
+
   [[nodiscard]] const Config& config() const noexcept { return config_; }
 
  private:
@@ -63,6 +75,8 @@ class EnergyTracker {
   double initial_battery_ = 1e9;
   std::vector<double> spent_;                       // per node
   double bucket_totals_[kEnergyBucketCount] = {0, 0, 0};
+  std::uint64_t tx_packets_ = 0;
+  std::uint64_t rx_packets_ = 0;
 };
 
 }  // namespace refer::sim

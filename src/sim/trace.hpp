@@ -111,23 +111,33 @@ class Tracer {
 #endif
   }
   void clear_sink() { sink_ = nullptr; }
+
+  /// Attaches a read-only tap invoked *before* the sink on every record.
+  /// The invariant engine (src/verify) listens here so event-granularity
+  /// checks run alongside whatever the run already writes to JSONL; a tap
+  /// alone also enables emission (a checker needs no trace file).
+  void set_tap(Sink tap) { tap_ = std::move(tap); }
+  void clear_tap() { tap_ = nullptr; }
+
   [[nodiscard]] bool enabled() const noexcept {
-    return static_cast<bool>(sink_);
+    return static_cast<bool>(sink_) || static_cast<bool>(tap_);
   }
 
   void emit(const TraceRecord& record) {
-    if (!sink_) return;
+    if (!sink_ && !tap_) return;
 #ifndef NDEBUG
     if (owner_ == std::thread::id{}) owner_ = std::this_thread::get_id();
     assert(owner_ == std::this_thread::get_id() &&
            "Tracer is single-run-local: each parallel job must own its "
            "tracer (see Deployment in harness/experiment.cpp)");
 #endif
-    sink_(record);
+    if (tap_) tap_(record);
+    if (sink_) sink_(record);
   }
 
  private:
   Sink sink_;
+  Sink tap_;
 #ifndef NDEBUG
   std::thread::id owner_;
 #endif
@@ -150,6 +160,13 @@ class JsonlTraceWriter {
   JsonlTraceWriter& operator=(const JsonlTraceWriter&) = delete;
 
   void operator()(const TraceRecord& record);
+
+  /// Pushes buffered records to disk so another reader (the invariant
+  /// engine's end-of-run trace audit) sees the complete stream while
+  /// this writer is still alive.
+  void flush() noexcept {
+    if (file_) std::fflush(file_);
+  }
 
   [[nodiscard]] std::uint64_t records_written() const noexcept {
     return written_;

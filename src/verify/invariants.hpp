@@ -1,0 +1,88 @@
+// The invariant engine: a harness::RunObserver that validates a live
+// run at two granularities.
+//
+// At event granularity (a sim::Tracer tap) every trace record is
+// checked as it is emitted: the simulator clock never runs backwards,
+// node ids stay inside the world, routing fields are internally sane.
+//
+// At run end the whole deployment is audited:
+//   - energy conservation: every joule in the bucket totals is explained
+//     by tx_packets * 2 J + rx_packets * 0.75 J -- exactly (all charges
+//     are multiples of 0.25 J, so the comparison needs no tolerance);
+//   - channel ledger: receptions were charged 1:1, completions never
+//     exceed sends, the per-node spend ledger sums to the bucket total;
+//   - metrics sanity: delivered <= sent, ratios inside [0, 1], energy
+//     split sums to the total;
+//   - REFER topology structure (core::validate_topology): K(d,k) label
+//     validity, global binding bijection, corners are actuators.  Cell
+//     completeness / liveness are NOT required -- fault injection
+//     legitimately leaves the last faulty set down at the horizon;
+//   - the written JSONL trace replayed through analysis::analyze_trace
+//     (PR 2's offline auditor): hop-chain continuity, Kautz arc
+//     validity, and every Theorem 3.8 fail-over re-derived against
+//     kautz::disjoint_routes.
+//
+// Violations accumulate as {check, detail} records; a clean run has
+// none.  The checker is single-run-local like the Tracer: one instance
+// per concurrent job.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+
+namespace refer::sim {
+struct TraceRecord;  // sim/trace.hpp
+}  // namespace refer::sim
+
+namespace refer::verify {
+
+/// One failed invariant.
+struct Violation {
+  std::string check;   ///< stable machine name, e.g. "energy.conservation"
+  std::string detail;  ///< human-readable specifics
+};
+
+/// Formats violations one per line ("check: detail").
+void print_violations(const std::vector<Violation>& violations,
+                      std::FILE* out);
+
+class InvariantChecker final : public harness::RunObserver {
+ public:
+  /// Caps event-granularity violations recorded per check so a broken
+  /// run cannot accumulate millions of identical entries.
+  static constexpr std::size_t kMaxPerCheck = 8;
+
+  void on_run_start(const harness::RunContext& ctx) override;
+  void on_run_end(const harness::RunContext& ctx,
+                  const harness::RunMetrics& metrics) override;
+
+  [[nodiscard]] const std::vector<Violation>& violations() const noexcept {
+    return violations_;
+  }
+  [[nodiscard]] bool clean() const noexcept { return violations_.empty(); }
+
+  /// Trace records seen through the tap (0 when tracing was off).
+  [[nodiscard]] std::uint64_t records_seen() const noexcept {
+    return records_seen_;
+  }
+
+ private:
+  void add(const std::string& check, std::string detail);
+  void check_record(const harness::RunContext& ctx,
+                    const sim::TraceRecord& record);
+  void check_energy(const harness::RunContext& ctx);
+  void check_metrics(const harness::RunContext& ctx,
+                     const harness::RunMetrics& metrics);
+  void check_topology(const harness::RunContext& ctx);
+  void check_trace_audit(const harness::RunContext& ctx);
+
+  std::vector<Violation> violations_;
+  std::uint64_t records_seen_ = 0;
+  std::uint64_t suppressed_ = 0;
+  double last_record_t_ = 0;
+};
+
+}  // namespace refer::verify

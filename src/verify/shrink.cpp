@@ -1,0 +1,107 @@
+#include "verify/shrink.hpp"
+
+#include <algorithm>
+
+#include "verify/fuzzer.hpp"
+
+namespace refer::verify {
+
+namespace {
+
+/// True when `got` raises at least one of the checks in `wanted` -- the
+/// shrink oracle.  Matching on check names (not details) keeps the
+/// shrinker from wandering onto an unrelated failure mid-reduction.
+bool reproduces(const std::vector<Violation>& got,
+                const std::vector<Violation>& wanted) {
+  for (const Violation& w : wanted) {
+    for (const Violation& g : got) {
+      if (g.check == w.check) return true;
+    }
+  }
+  return false;
+}
+
+/// One reduction attempt; returns false when it cannot apply (already
+/// minimal for this knob).
+using Reduction = bool (*)(harness::Scenario&);
+
+constexpr Reduction kReductions[] = {
+    [](harness::Scenario& sc) {
+      if (sc.n_sensors <= 40) return false;
+      sc.n_sensors = std::max(40, sc.n_sensors / 2);
+      return true;
+    },
+    [](harness::Scenario& sc) {
+      if (sc.measure_s <= 5) return false;
+      sc.measure_s = std::max(5.0, sc.measure_s / 2);
+      return true;
+    },
+    [](harness::Scenario& sc) {
+      if (sc.warmup_s <= 5) return false;
+      sc.warmup_s = std::max(5.0, sc.warmup_s / 2);
+      return true;
+    },
+    [](harness::Scenario& sc) {
+      if (sc.faulty_nodes == 0) return false;
+      sc.faulty_nodes /= 2;
+      return true;
+    },
+    [](harness::Scenario& sc) {
+      if (sc.loss_probability == 0) return false;
+      sc.loss_probability = 0;
+      return true;
+    },
+    [](harness::Scenario& sc) {
+      if (!sc.mobile) return false;
+      sc.mobile = false;
+      return true;
+    },
+    [](harness::Scenario& sc) {
+      if (sc.sources_per_round <= 1) return false;
+      sc.sources_per_round = std::max(1, sc.sources_per_round / 2);
+      return true;
+    },
+    [](harness::Scenario& sc) {
+      if (sc.packets_per_second <= 1) return false;
+      sc.packets_per_second = std::max(1.0, sc.packets_per_second / 2);
+      return true;
+    },
+    [](harness::Scenario& sc) {
+      if (sc.timeline_bucket_s == 0 && !sc.profile) return false;
+      sc.timeline_bucket_s = 0;
+      sc.profile = false;
+      return true;
+    },
+};
+
+}  // namespace
+
+ScenarioShrinker::Result ScenarioShrinker::shrink(
+    const harness::Scenario& failing, const std::vector<Violation>& original,
+    const Options& options) {
+  Result result;
+  result.scenario = failing;
+  result.scenario.observer = nullptr;
+  result.violations = original;
+
+  bool progressed = true;
+  while (progressed && result.runs < options.max_runs) {
+    progressed = false;
+    for (const Reduction reduce : kReductions) {
+      if (result.runs >= options.max_runs) break;
+      harness::Scenario candidate = result.scenario;
+      if (!reduce(candidate)) continue;
+      ++result.runs;
+      std::vector<Violation> got =
+          run_case(options.kind, candidate, options.trace_path);
+      if (!reproduces(got, original)) continue;
+      result.scenario = candidate;
+      result.violations = std::move(got);
+      ++result.accepted;
+      progressed = true;
+    }
+  }
+  return result;
+}
+
+}  // namespace refer::verify

@@ -1,0 +1,49 @@
+// Scenario shrinker: reduces a failing fuzz case to a minimal
+// reproducer.
+//
+// Greedy delta debugging over the scenario knobs: each pass tries one
+// reduction (halve the sensor count, halve the horizon, drop the fault
+// schedule, zero the link-flap loss, freeze mobility, thin the
+// traffic); a candidate is kept only when the run still raises at least
+// one of the original violation checks.  Passes repeat until a full
+// sweep accepts nothing or the re-run budget is exhausted.  Every
+// candidate run is a full run_case -- deterministic, so the shrink is
+// reproducible end to end.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harness/scenario.hpp"
+#include "verify/invariants.hpp"
+
+namespace refer::verify {
+
+class ScenarioShrinker {
+ public:
+  struct Options {
+    harness::SystemKind kind = harness::SystemKind::kRefer;
+    int max_runs = 48;  ///< total candidate re-executions allowed
+    /// Scratch trace file for candidate runs (needed by the trace
+    /// audits; overwritten per candidate).  Empty disables the trace
+    /// audits during shrinking -- only do that when the violation being
+    /// reproduced is not a trace.* check.
+    std::string trace_path;
+  };
+
+  struct Result {
+    harness::Scenario scenario;         ///< the minimal reproducer
+    std::vector<Violation> violations;  ///< what the reproducer raises
+    int runs = 0;                       ///< candidate executions spent
+    int accepted = 0;                   ///< reductions that stuck
+  };
+
+  /// Shrinks `failing` (already known to raise `original`).  The result
+  /// scenario still fails with at least one of the original checks; when
+  /// nothing can be reduced it equals the input.
+  [[nodiscard]] static Result shrink(const harness::Scenario& failing,
+                                     const std::vector<Violation>& original,
+                                     const Options& options);
+};
+
+}  // namespace refer::verify

@@ -20,6 +20,19 @@ TEST(Rng, DeterministicForSameSeed) {
   for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
 }
 
+TEST(Rng, DefaultConstructionIsAFixedSeedNeverWallClock) {
+  // Deflake guard: a default-constructed Rng is the golden-ratio constant,
+  // so forgetting an explicit seed can never introduce run-to-run
+  // nondeterminism.  (No code in this repo may seed from time or
+  // std::random_device; this pins the fallback.)
+  Rng defaulted;
+  Rng explicit_seed(0x9e3779b97f4a7c15ULL);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(defaulted(), explicit_seed());
+  Rng again;
+  Rng once_more;
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(again(), once_more());
+}
+
 TEST(Rng, DifferentSeedsDiffer) {
   Rng a(1), b(2);
   int same = 0;

@@ -2,9 +2,14 @@
 // stressors, and long-run soak with invariant auditing.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <string>
+
+#include "analysis/trace_report.hpp"
 #include "harness/experiment.hpp"
 #include "refer/validate.hpp"
 #include "refer_fixture.hpp"
+#include "sim/trace.hpp"
 
 namespace refer {
 namespace {
@@ -25,6 +30,13 @@ TEST_P(LossyChannelTest, ReferSurvivesRandomFrameLoss) {
   add_quincunx_actuators();
   add_static_sensors(200);
   core::ReferSystem refer_sys(sim, world, lossy, energy, Rng(7));
+  // Count routing events so the suite asserts the *mechanism* (fail-over
+  // switches in the trace), not just the delivery outcome.
+  sim::Tracer tracer;
+  sim::CountingTraceSink sink;
+  tracer.set_sink(std::ref(sink));
+  lossy.set_tracer(&tracer);
+  refer_sys.set_tracer(&tracer);
   bool ok = false;
   refer_sys.build([&](bool r) { ok = r; });
   sim.run_until(sim.now() + 30.0);
@@ -47,6 +59,18 @@ TEST_P(LossyChannelTest, ReferSurvivesRandomFrameLoss) {
   const double floor = loss <= 0.02 ? 0.9 : (loss <= 0.05 ? 0.8 : 0.55);
   EXPECT_GE(delivered, static_cast<int>(total * floor))
       << delivered << "/" << total << " at loss " << loss;
+  EXPECT_EQ(sink.count(sim::TraceEvent::kPacketSent),
+            static_cast<std::uint64_t>(total));
+  EXPECT_EQ(sink.count(sim::TraceEvent::kPacketDelivered),
+            static_cast<std::uint64_t>(delivered));
+  // Survival at >= 5% frame loss is only credible if the router actually
+  // switched successors.  (No zero-fail-over claim at loss 0: a busy
+  // relay can time out an ACK and legitimately fail over.)
+  if (loss >= 0.05) {
+    EXPECT_GT(sink.count(sim::TraceEvent::kFailover), 0u)
+        << "deliveries survived " << loss * 100
+        << "% loss without a single fail-over event";
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(LossSweep, LossyChannelTest,
@@ -66,10 +90,23 @@ TEST(FailureInjection, ReferOutlivesHeavyChurn) {
   sc.faulty_nodes = 30;       // 15% of the sensors down at any time
   sc.fault_period_s = 5;      // re-rolled twice per round
   sc.seed = 13;
+  sc.trace_path = ::testing::TempDir() + "churn_trace.jsonl";
   const auto m = harness::run_once(harness::SystemKind::kRefer, sc);
   ASSERT_TRUE(m.build_ok);
   EXPECT_GT(m.delivery_ratio, 0.7) << "heavy churn";
   EXPECT_GT(m.qos_delivered, 0u);
+
+  // Surviving churn must show up as fail-over events in the trace, and
+  // every one of them must pass the offline Theorem 3.8 audit.
+  const analysis::TraceReport report =
+      analysis::analyze_trace_file(sc.trace_path);
+  EXPECT_GT(report.lines, 0u);
+  EXPECT_GT(report.failovers, 0u)
+      << "heavy churn produced no trace-level fail-over events";
+  EXPECT_GT(report.failovers_checked, 0u);
+  EXPECT_EQ(report.failover_mismatches, 0u);
+  EXPECT_EQ(report.violations(), 0u);
+  std::remove(sc.trace_path.c_str());
 }
 
 TEST(FailureInjection, BaselinesDegradeMoreThanReferUnderChurn) {

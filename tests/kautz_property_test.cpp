@@ -8,6 +8,7 @@
 
 #include "common/rng.hpp"
 #include "kautz/graph.hpp"
+#include "kautz/route_cache.hpp"
 #include "kautz/routing.hpp"
 #include "kautz/verifier.hpp"
 
@@ -250,6 +251,89 @@ INSTANTIATE_TEST_SUITE_P(
       return "d" + std::to_string(info.param.d) + "k" +
              std::to_string(info.param.k);
     });
+
+// ------------------------------------------------------------ route cache
+
+void expect_same_routes(const std::vector<Route>& got,
+                        const std::vector<Route>& expected, int d,
+                        const Label& u, const Label& v) {
+  ASSERT_EQ(got.size(), expected.size())
+      << "d=" << d << " " << u.to_string() << "->" << v.to_string();
+  for (std::size_t r = 0; r < got.size(); ++r) {
+    EXPECT_EQ(got[r].successor, expected[r].successor);
+    EXPECT_EQ(got[r].path_class, expected[r].path_class);
+    EXPECT_EQ(got[r].nominal_length, expected[r].nominal_length);
+    EXPECT_EQ(got[r].forced_second_hop, expected[r].forced_second_hop);
+  }
+}
+
+TEST(RouteCacheProperty, RandomStreamMatchesUncachedUnderHeavyCollisions) {
+  // 2 slots, thousands of random (src, dst) pairs across mixed degrees:
+  // nearly every lookup collides into an occupied slot, so the test
+  // exercises the overwrite/recompute path as hard as the hit path.
+  // Correctness must never depend on what the slot currently holds.
+  RouteCache tiny(2);
+  std::vector<Route> out;
+  Rng rng(0x5EEDCACE);
+  const DK dks[] = {{2, 3}, {3, 3}, {4, 3}, {5, 3}};
+  std::uint64_t counts[std::size(dks)];
+  for (std::size_t i = 0; i < std::size(dks); ++i) {
+    counts[i] = Graph(dks[i].d, dks[i].k).node_count();
+  }
+  for (int i = 0; i < 3000; ++i) {
+    const std::size_t which = rng.below(std::size(dks));
+    const auto [d, k] = dks[which];
+    const std::uint64_t n = counts[which];
+    const Label u = Label::from_index(rng.below(n), d, k);
+    Label v = Label::from_index(rng.below(n), d, k);
+    if (v == u) v = Label::from_index((v.to_index(d) + 1) % n, d, k);
+    tiny.lookup(d, u, v, out);
+    expect_same_routes(out, disjoint_routes(d, u, v), d, u, v);
+  }
+  // With 2 slots and 4 degrees the stream must both hit and collide.
+  EXPECT_GT(tiny.hits(), 0u);
+  EXPECT_GT(tiny.misses(), tiny.hits());
+  EXPECT_EQ(tiny.hits() + tiny.misses(), 3000u);
+}
+
+TEST(RouteCacheProperty, RepeatedPairHitsEvenInTinyCache) {
+  RouteCache tiny(2);
+  std::vector<Route> out;
+  const Label u = Label::from_index(0, 2, 3);
+  const Label v = Label::from_index(7, 2, 3);
+  tiny.lookup(2, u, v, out);
+  const std::uint64_t misses = tiny.misses();
+  for (int i = 0; i < 10; ++i) tiny.lookup(2, u, v, out);
+  EXPECT_EQ(tiny.hits(), 10u);
+  EXPECT_EQ(tiny.misses(), misses);
+}
+
+TEST(RouteCacheProperty, DegreeTenAndAboveBypassesTheCache) {
+  // Theorem 3.8 yields d routes; the per-slot array holds 10, so d >= 10
+  // must go straight to disjoint_routes -- correct results, no counter
+  // movement, no slot pollution.
+  RouteCache cache(64);
+  std::vector<Route> out;
+  Rng rng(0xB1FA55);
+  const int d = 10, k = 2;
+  const std::uint64_t n = 1100;  // d^k * (d + 1) nodes in K(10, 2)
+  for (int i = 0; i < 50; ++i) {
+    const Label u = Label::from_index(rng.below(n), d, k);
+    Label v = Label::from_index(rng.below(n), d, k);
+    if (v == u) v = Label::from_index((v.to_index(d) + 1) % n, d, k);
+    cache.lookup(d, u, v, out);
+    expect_same_routes(out, disjoint_routes(d, u, v), d, u, v);
+    EXPECT_EQ(out.size(), 10u);
+  }
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+  // The bypass left the cached degrees untouched.
+  const Label u = Label::from_index(1, 2, 3);
+  const Label v = Label::from_index(5, 2, 3);
+  cache.lookup(2, u, v, out);
+  expect_same_routes(out, disjoint_routes(2, u, v), 2, u, v);
+  EXPECT_EQ(cache.misses(), 1u);
+}
 
 }  // namespace
 }  // namespace refer::kautz

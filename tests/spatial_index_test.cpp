@@ -14,6 +14,7 @@
 #include "kautz/route_cache.hpp"
 #include "kautz/routing.hpp"
 #include "sim/simulator.hpp"
+#include "sim/spatial_index.hpp"
 #include "sim/world.hpp"
 
 namespace refer {
@@ -118,6 +119,124 @@ TEST(SpatialIndexProperty, SurvivesLivenessFlipsAndLateNodeAdds) {
   EXPECT_EQ(world.closest_actuator(late), 0);
   EXPECT_GE(world.index_stats().rebuilds, 1u);
 }
+
+TEST(SpatialIndexEdgeCases, NodesExactlyOnCellBoundariesMatchLinearScan) {
+  // With max range 100 on a 600 m side the grid cell is 25 m, so every
+  // multiple of 25 sits exactly on a cell boundary; (600, 600) sits on
+  // the outer area boundary and must clamp into the last cell, not read
+  // past the grid.  Distances of exactly one range (100 m) also pin the
+  // within_range boundary.
+  sim::Simulator sim;
+  sim::World world(Rect{{0, 0}, {600, 600}}, sim);
+  world.add_actuator({300, 300}, 100);
+  for (double x = 0; x <= 600; x += 75) {
+    for (double y = 0; y <= 600; y += 75) {
+      world.add_static_sensor({x, y}, 100);
+    }
+  }
+  for (NodeId from = 0; static_cast<std::size_t>(from) < world.size();
+       ++from) {
+    world.set_spatial_index_enabled(true);
+    const auto grid = world.reachable_from(from);
+    const NodeId grid_act = world.closest_actuator(from);
+    world.set_spatial_index_enabled(false);
+    const auto linear = world.reachable_from(from);
+    const NodeId linear_act = world.closest_actuator(from);
+    ASSERT_EQ(grid, linear) << "from=" << from;
+    ASSERT_EQ(grid_act, linear_act) << "from=" << from;
+    // Neighbours at exactly 100 m (one range) are in range: the grid on
+    // a 75 m pitch guarantees none, but the axis-aligned 75 m and
+    // diagonal ~106 m neighbours pin both sides of the boundary.
+    EXPECT_FALSE(grid.empty()) << "from=" << from;
+  }
+}
+
+TEST(SpatialIndexEdgeCases, ExactRangeDistanceIsInRangeOnBothPaths) {
+  sim::Simulator sim;
+  sim::World world(Rect{{0, 0}, {400, 400}}, sim);
+  const NodeId a = world.add_static_sensor({100, 100}, 100);
+  const NodeId b = world.add_static_sensor({200, 100}, 100);  // d == range
+  const NodeId c = world.add_static_sensor({201, 100}, 100);  // d > range
+  world.set_spatial_index_enabled(true);
+  EXPECT_EQ(world.reachable_from(a), (std::vector<NodeId>{b}));
+  world.set_spatial_index_enabled(false);
+  EXPECT_EQ(world.reachable_from(a), (std::vector<NodeId>{b}));
+  EXPECT_TRUE(world.can_reach(a, b));
+  EXPECT_FALSE(world.can_reach(a, c));
+}
+
+TEST(SpatialIndexEdgeCases, ZeroRangeWorldFallsBackToLinearScan) {
+  // All ranges zero: no usable index can exist.  Queries must fall back
+  // to the linear scan and return nothing -- except for co-located
+  // nodes, which sit at distance exactly 0 <= range 0.
+  sim::Simulator sim;
+  sim::World world(Rect{{0, 0}, {100, 100}}, sim);
+  const NodeId a = world.add_static_sensor({10, 10}, 0);
+  const NodeId b = world.add_static_sensor({10, 10}, 0);  // co-located
+  world.add_static_sensor({20, 10}, 0);
+  world.set_spatial_index_enabled(true);
+  EXPECT_EQ(world.reachable_from(a), (std::vector<NodeId>{b}));
+  EXPECT_EQ(world.closest_actuator(a), -1);
+  EXPECT_EQ(world.index_stats().rebuilds, 0u)
+      << "a zero-range world must not build a grid";
+  // A positive override on the same world still works (and, with every
+  // binned range zero, still goes through the linear path).
+  EXPECT_EQ(world.reachable_from(a, 50.0).size(), 2u);
+}
+
+TEST(SpatialIndexEdgeCases, ZeroRangeNodeAmongRangedNodesSeesOnlyCoLocated) {
+  sim::Simulator sim;
+  sim::World world(Rect{{0, 0}, {100, 100}}, sim);
+  const NodeId mute = world.add_static_sensor({50, 50}, 0);
+  const NodeId twin = world.add_static_sensor({50, 50}, 80);
+  world.add_static_sensor({60, 50}, 80);
+  for (const bool indexed : {true, false}) {
+    world.set_spatial_index_enabled(indexed);
+    // Range 0 reaches exactly the co-located node on either path.
+    EXPECT_EQ(world.reachable_from(mute), (std::vector<NodeId>{twin}))
+        << "indexed=" << indexed;
+    // And the ranged nodes still see the zero-range node.
+    EXPECT_EQ(world.reachable_from(twin).size(), 2u) << "indexed=" << indexed;
+  }
+}
+
+TEST(SpatialIndexEdgeCases, SizeListenerSeesEveryLateAddUntilRemoved) {
+  // Channel sizes its per-node medium tables through this listener; a
+  // world that grows after registration must keep notifying, and a
+  // removed listener must never fire again (dangling-capture UB
+  // otherwise).
+  sim::Simulator sim;
+  sim::World world(Rect{{0, 0}, {100, 100}}, sim);
+  world.add_static_sensor({10, 10}, 50);
+  std::vector<std::size_t> sizes;
+  const int token =
+      world.add_size_listener([&](std::size_t n) { sizes.push_back(n); });
+  ASSERT_EQ(sizes, (std::vector<std::size_t>{1}))
+      << "registration reports the current size immediately";
+  world.add_static_sensor({20, 10}, 50);
+  world.add_actuator({30, 10}, 80);
+  EXPECT_EQ(sizes, (std::vector<std::size_t>{1, 2, 3}));
+  world.remove_size_listener(token);
+  world.add_static_sensor({40, 10}, 50);
+  EXPECT_EQ(sizes, (std::vector<std::size_t>{1, 2, 3}))
+      << "removed listener fired on a late add";
+  // Removing an unknown (or already-removed) token is a harmless no-op.
+  world.remove_size_listener(token);
+  world.remove_size_listener(9999);
+}
+
+#ifndef NDEBUG
+TEST(SpatialIndexEdgeCases, UpdateOutsideTheNodeUniverseAsserts) {
+  // start_build fixes the id universe; binning an id past it is a
+  // contract violation that must assert (not silently corrupt slots_).
+  // World can never trigger this (add_node marks the index dirty, so the
+  // next query rebuilds with the new universe) -- this pins the guard
+  // that keeps that true.
+  sim::SpatialIndex index;
+  index.start_build(Rect{{0, 0}, {100, 100}}, 10, 0, 0, 2);
+  EXPECT_DEATH(index.update(5, {1, 1}, 0, 0), "slots_");
+}
+#endif
 
 TEST(RouteCache, AgreesWithDisjointRoutesAndCountsHits) {
   kautz::RouteCache cache(64);

@@ -1,0 +1,258 @@
+// The verification engine end to end: fuzz seeds are pure functions of
+// their value, clean scenarios raise no invariant violations, a planted
+// bug is caught -> shrunk -> replayed from repro.json to the same
+// violation, and replaying any seed twice is field-for-field identical.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "harness/experiment.hpp"
+#include "verify/fuzzer.hpp"
+#include "verify/invariants.hpp"
+#include "verify/repro.hpp"
+#include "verify/shrink.hpp"
+
+namespace refer::verify {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+// ------------------------------------------------------------ generator
+
+TEST(ScenarioFuzzer, GenerateIsAPureFunctionOfTheSeed) {
+  for (const std::uint64_t seed : {1ULL, 42ULL, 0xFFFFFFFFFFFFULL}) {
+    const harness::Scenario a = ScenarioFuzzer::generate(seed);
+    const harness::Scenario b = ScenarioFuzzer::generate(seed);
+    ReproCase ra{harness::SystemKind::kRefer, a, ""};
+    ReproCase rb{harness::SystemKind::kRefer, b, ""};
+    EXPECT_EQ(to_repro_json(ra), to_repro_json(rb)) << "seed " << seed;
+    EXPECT_EQ(a.seed, seed);
+  }
+}
+
+TEST(ScenarioFuzzer, DifferentSeedsGiveDifferentScenarios) {
+  const harness::Scenario a = ScenarioFuzzer::generate(1);
+  const harness::Scenario b = ScenarioFuzzer::generate(2);
+  ReproCase ra{harness::SystemKind::kRefer, a, ""};
+  ReproCase rb{harness::SystemKind::kRefer, b, ""};
+  EXPECT_NE(to_repro_json(ra), to_repro_json(rb));
+}
+
+// ------------------------------------------------------ invariant engine
+
+TEST(InvariantChecker, CleanScenarioRaisesNothingAndSeesTraffic) {
+  harness::Scenario sc = ScenarioFuzzer::generate(1);
+  sc.trace_path = temp_path("verify_clean.jsonl");
+  InvariantChecker checker;
+  sc.observer = &checker;
+  const harness::RunMetrics m =
+      harness::run_once(harness::SystemKind::kRefer, sc);
+  ASSERT_TRUE(m.build_ok);
+  EXPECT_GT(m.packets_sent, 0u) << "fuzz cases must carry real traffic";
+  EXPECT_GT(checker.records_seen(), 100u)
+      << "the tap must observe the run at event granularity";
+  EXPECT_TRUE(checker.clean()) << "first violation: "
+                               << checker.violations().front().check << ": "
+                               << checker.violations().front().detail;
+  std::remove(sc.trace_path.c_str());
+}
+
+TEST(InvariantChecker, WorksWithoutATraceFile) {
+  harness::Scenario sc = ScenarioFuzzer::generate(2);
+  InvariantChecker checker;
+  sc.observer = &checker;
+  const harness::RunMetrics m =
+      harness::run_once(harness::SystemKind::kRefer, sc);
+  ASSERT_TRUE(m.build_ok);
+  // The tap still feeds the event-granularity checks; only the offline
+  // trace audit is skipped.
+  EXPECT_GT(checker.records_seen(), 0u);
+  EXPECT_TRUE(checker.clean());
+}
+
+TEST(InvariantChecker, ChecksTheBaselinesToo) {
+  harness::Scenario sc = ScenarioFuzzer::generate(3);
+  InvariantChecker checker;
+  sc.observer = &checker;
+  const harness::RunMetrics m =
+      harness::run_once(harness::SystemKind::kDaTree, sc);
+  ASSERT_TRUE(m.build_ok);
+  EXPECT_TRUE(checker.clean());
+}
+
+// ------------------------------------------------------------ determinism
+
+void expect_identical(const harness::RunMetrics& a,
+                      const harness::RunMetrics& b) {
+  EXPECT_EQ(a.build_ok, b.build_ok);
+  EXPECT_EQ(a.packets_sent, b.packets_sent);
+  EXPECT_EQ(a.packets_delivered, b.packets_delivered);
+  EXPECT_EQ(a.qos_delivered, b.qos_delivered);
+  EXPECT_EQ(a.qos_throughput_kbps, b.qos_throughput_kbps);
+  EXPECT_EQ(a.avg_delay_ms, b.avg_delay_ms);
+  EXPECT_EQ(a.delay_p50_ms, b.delay_p50_ms);
+  EXPECT_EQ(a.delay_p95_ms, b.delay_p95_ms);
+  EXPECT_EQ(a.delay_p99_ms, b.delay_p99_ms);
+  EXPECT_EQ(a.delivery_ratio, b.delivery_ratio);
+  EXPECT_EQ(a.comm_energy_j, b.comm_energy_j);
+  EXPECT_EQ(a.construction_energy_j, b.construction_energy_j);
+  EXPECT_EQ(a.total_energy_j, b.total_energy_j);
+  EXPECT_EQ(a.qos_timeline_kbps, b.qos_timeline_kbps);
+  ASSERT_EQ(a.observability.size(), b.observability.size());
+  for (std::size_t i = 0; i < a.observability.size(); ++i) {
+    const auto& ea = a.observability[i];
+    const auto& eb = b.observability[i];
+    EXPECT_EQ(ea.name, eb.name);
+    EXPECT_EQ(ea.is_histogram, eb.is_histogram);
+    EXPECT_EQ(ea.count, eb.count) << ea.name;
+    EXPECT_EQ(ea.sum, eb.sum) << ea.name;
+    EXPECT_EQ(ea.min, eb.min) << ea.name;
+    EXPECT_EQ(ea.max, eb.max) << ea.name;
+    EXPECT_EQ(ea.p50, eb.p50) << ea.name;
+    EXPECT_EQ(ea.p95, eb.p95) << ea.name;
+    EXPECT_EQ(ea.p99, eb.p99) << ea.name;
+  }
+}
+
+TEST(FuzzDeterminism, ReplayingASeedIsFieldForFieldIdentical) {
+  for (const std::uint64_t seed : {5ULL, 11ULL}) {
+    harness::Scenario sc = ScenarioFuzzer::generate(seed);
+    // The kernel profiler histograms are wall-time (the one intentional
+    // nondeterminism in the observability snapshot); everything else
+    // must match exactly.
+    sc.profile = false;
+    const harness::RunMetrics a =
+        harness::run_once(harness::SystemKind::kRefer, sc);
+    const harness::RunMetrics b =
+        harness::run_once(harness::SystemKind::kRefer, sc);
+    expect_identical(a, b);
+  }
+}
+
+// -------------------------------------------------------------- repro.json
+
+TEST(Repro, RoundTripsEveryScenarioField) {
+  ReproCase repro;
+  repro.kind = harness::SystemKind::kDDear;
+  repro.violation = "energy.conservation: off by 0.25 J";
+  harness::Scenario& sc = repro.scenario;
+  sc = ScenarioFuzzer::generate(99);
+  sc.seed = (1ULL << 63) + 12345;  // needs string serialization: > 2^53
+  sc.loss_probability = 0.07421875;
+  sc.planted_bug = 1;
+  sc.packet_bytes = 3999;
+
+  const std::string path = temp_path("verify_roundtrip.json");
+  ASSERT_TRUE(write_repro(path, repro));
+  const auto loaded = load_repro(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->kind, repro.kind);
+  EXPECT_EQ(loaded->violation, repro.violation);
+  EXPECT_EQ(loaded->scenario.seed, sc.seed);
+  // One string comparison covers every serialized field exactly.
+  EXPECT_EQ(to_repro_json(*loaded), to_repro_json(repro));
+  std::remove(path.c_str());
+}
+
+TEST(Repro, RejectsMissingAndMalformedFiles) {
+  EXPECT_FALSE(load_repro(temp_path("verify_nonexistent.json")).has_value());
+  const std::string path = temp_path("verify_bad.json");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("{\"repro_version\": 1}\n", f);  // missing everything else
+  std::fclose(f);
+  EXPECT_FALSE(load_repro(path).has_value());
+  std::remove(path.c_str());
+}
+
+// ----------------------------------------- planted bug -> shrink -> replay
+
+TEST(PlantedBug, IsCaughtShrunkAndReplayedFromRepro) {
+  // 1. Fuzz with the planted off-by-one in the Theorem 3.8 fail-over
+  // nominal length; the trace audit must flag it on some seed.
+  FuzzOptions options;
+  options.seeds = 12;
+  options.base_seed = 1;
+  options.jobs = 2;
+  options.planted_bug = 1;
+  options.trace_dir = temp_path("verify_plant");
+  const FuzzSummary summary = run_fuzz(options);
+  EXPECT_EQ(summary.cases_run, 12);
+  ASSERT_FALSE(summary.failures.empty())
+      << "the planted bug escaped " << summary.cases_run << " fuzz cases";
+  const FuzzFailure& first = summary.failures.front();
+  bool flagged = false;
+  for (const Violation& v : first.violations) {
+    flagged |= v.check == "trace.failover_mismatches";
+  }
+  EXPECT_TRUE(flagged) << "expected the fail-over audit to flag the plant";
+
+  // 2. Shrink to a minimal reproducer; it must still raise the same
+  // check, with fewer nodes / a shorter horizon than where it started.
+  ScenarioShrinker::Options shrink_options;
+  shrink_options.max_runs = 32;
+  shrink_options.trace_path = temp_path("verify_plant_shrink.jsonl");
+  const ScenarioShrinker::Result shrunk =
+      ScenarioShrinker::shrink(first.scenario, first.violations,
+                               shrink_options);
+  EXPECT_GT(shrunk.accepted, 0) << "nothing could be reduced";
+  EXPECT_LE(shrunk.scenario.n_sensors, first.scenario.n_sensors);
+  EXPECT_LE(shrunk.scenario.measure_s, first.scenario.measure_s);
+  ASSERT_FALSE(shrunk.violations.empty());
+
+  // 3. Write repro.json, load it back, and replay: bit-identical runs
+  // mean the identical violation set, field for field.
+  ReproCase repro;
+  repro.kind = harness::SystemKind::kRefer;
+  repro.scenario = shrunk.scenario;
+  repro.scenario.trace_path.clear();
+  repro.violation = summarize(shrunk.violations);
+  const std::string repro_path = temp_path("verify_plant_repro.json");
+  ASSERT_TRUE(write_repro(repro_path, repro));
+  const auto loaded = load_repro(repro_path);
+  ASSERT_TRUE(loaded.has_value());
+
+  const std::vector<Violation> replayed = run_case(
+      loaded->kind, loaded->scenario, shrink_options.trace_path);
+  ASSERT_EQ(replayed.size(), shrunk.violations.size());
+  for (std::size_t i = 0; i < replayed.size(); ++i) {
+    EXPECT_EQ(replayed[i].check, shrunk.violations[i].check);
+    EXPECT_EQ(replayed[i].detail, shrunk.violations[i].detail);
+  }
+
+  std::remove(repro_path.c_str());
+  std::remove(shrink_options.trace_path.c_str());
+  for (const FuzzFailure& f : summary.failures) {
+    std::remove(f.trace_path.c_str());
+  }
+}
+
+// ------------------------------------------------------------ fuzz driver
+
+TEST(FuzzDriver, CleanSeedsProduceNoViolationsAndNoLeftoverTraces) {
+  FuzzOptions options;
+  options.seeds = 6;
+  options.base_seed = 21;
+  options.jobs = 2;
+  options.trace_dir = temp_path("verify_fuzz_clean");
+  const FuzzSummary summary = run_fuzz(options);
+  EXPECT_EQ(summary.cases_run, 6);
+  EXPECT_TRUE(summary.clean())
+      << summary.failures.size() << " failing case(s); first seed "
+      << summary.failures.front().seed << ": "
+      << summarize(summary.failures.front().violations);
+  // Clean cases delete their traces.
+  for (int i = 0; i < 6; ++i) {
+    const std::string trace =
+        options.trace_dir + "/fuzz_" + std::to_string(21 + i) + ".jsonl";
+    std::FILE* f = std::fopen(trace.c_str(), "r");
+    EXPECT_EQ(f, nullptr) << trace << " should have been deleted";
+    if (f) std::fclose(f);
+  }
+}
+
+}  // namespace
+}  // namespace refer::verify

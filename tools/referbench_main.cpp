@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "registry.hpp"
+#include "verify_commands.hpp"
 
 namespace {
 
@@ -21,7 +22,11 @@ using namespace refer::bench;
 
 void print_usage(std::FILE* out) {
   std::fprintf(out,
-               "usage: referbench <bench|all|--list> [flags]\n"
+               "usage: referbench <bench|all|fuzz|replay|--list> [flags]\n"
+               "\n"
+               "  fuzz            scenario fuzzing under the invariant\n"
+               "                  engine (referbench fuzz --help)\n"
+               "  replay FILE     re-run a fuzzer reproducer (repro.json)\n"
                "\n"
                "  --list          list registered benches\n"
                "  --reps N        seeds per point (default 3)\n"
@@ -71,6 +76,12 @@ int main(int argc, char** argv) {
   if (command == "--list" || command == "list") {
     print_list();
     return 0;
+  }
+  if (command == "fuzz") {
+    return refer::tools::run_fuzz_command(argc - 2, argv + 2);
+  }
+  if (command == "replay") {
+    return refer::tools::run_replay_command(argc - 2, argv + 2);
   }
   if (!command.empty() && command[0] == '-') {
     std::fprintf(stderr, "referbench: expected a bench name before flags, "

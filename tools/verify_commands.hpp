@@ -1,0 +1,19 @@
+// The verification subcommands of referbench (src/verify drivers):
+//
+//   referbench fuzz --seeds 100 --jobs 0        scenario fuzzing
+//   referbench replay repro.json                re-run a reproducer
+//
+// Split from referbench_main.cpp so the bench registry stays free of
+// verification concerns.  Both return a process exit code: 0 = clean,
+// 1 = invariant violations found, 2 = usage error.
+#pragma once
+
+namespace refer::tools {
+
+/// `argv` starts at the first flag after the `fuzz` word.
+int run_fuzz_command(int argc, char** argv);
+
+/// `argv` starts at the repro.json path after the `replay` word.
+int run_replay_command(int argc, char** argv);
+
+}  // namespace refer::tools
