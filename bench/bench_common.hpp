@@ -23,6 +23,9 @@
 //                   histograms in the observability section)
 //   --no-spatial-index  disable the world's spatial grid index (O(n)
 //                   linear scans; results are bit-identical, only slower)
+//   --legacy-event-queue  run the simulator kernel on the original binary
+//                   heap instead of the calendar queue (bit-identical,
+//                   only slower; the event-engine escape hatch)
 //   --quick         reps=1, measure=45 (CI smoke runs)
 //   --full          reps=5, measure=200 (closer to paper scale)
 //
@@ -106,6 +109,8 @@ inline BenchOptions parse_options(int argc, char** argv) {
       opt.base.profile = true;
     } else if (arg == "--no-spatial-index") {
       opt.base.spatial_index = false;
+    } else if (arg == "--legacy-event-queue") {
+      opt.base.legacy_event_queue = true;
     } else if (arg == "--quick") {
       opt.reps = 1;
       opt.base.measure_s = 45;

@@ -112,6 +112,9 @@ struct Deployment {
                     .mac = sc.csma ? sim::MacMode::kCsma
                                    : sim::MacMode::kNullMac}),
         flooder(sim, world, channel) {
+    if (sc.legacy_event_queue) {
+      sim.set_engine(sim::QueueEngine::kLegacyHeap);
+    }
     world.set_spatial_index_enabled(sc.spatial_index);
     place_actuators();
     place_sensors();
@@ -299,6 +302,14 @@ class Driver {
     StatsRegistry& st = dep_->stats;
     st.counter("sim.events_executed").set(dep_->sim.events_executed());
     st.counter("sim.peak_queue_depth").set(dep_->sim.peak_pending());
+    // Closure-storage health: pooled_closures must stay 0 for every
+    // workload in the repo (the capture audit), and the counters are
+    // engine-independent -- the determinism tests compare them verbatim
+    // between the calendar queue and the legacy heap.
+    const sim::ClosurePool::Stats& cls = dep_->sim.closure_stats();
+    st.counter("sim.closure.inline").set(cls.inline_closures);
+    st.counter("sim.closure.pooled").set(cls.pooled_closures);
+    st.counter("sim.closure.pool_blocks").set(cls.blocks_allocated);
     const sim::ChannelStats& cs = dep_->channel.stats();
     st.counter("channel.unicasts_sent").set(cs.unicasts_sent);
     st.counter("channel.unicasts_delivered").set(cs.unicasts_delivered);

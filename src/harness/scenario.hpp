@@ -83,6 +83,12 @@ struct Scenario {
   /// the O(n) linear scans for perf comparison.
   bool spatial_index = true;
 
+  /// Event-queue ablation: false (default) runs the simulator on the
+  /// calendar queue, true restores the original binary heap
+  /// (--legacy-event-queue).  Results are bit-identical either way
+  /// (proven by test, like spatial_index); only wall-clock differs.
+  bool legacy_event_queue = false;
+
   /// When > 0, RunMetrics::qos_timeline_kbps reports QoS throughput per
   /// bucket of this many seconds across the measurement window -- the
   /// within-run decay curve (how a system degrades as its topology goes

@@ -114,6 +114,7 @@ void write_scenario(JsonWriter& w, const harness::Scenario& sc) {
   w.kv("seed", sc.seed);
   w.kv("csma", sc.csma);
   w.kv("spatial_index", sc.spatial_index);
+  w.kv("legacy_event_queue", sc.legacy_event_queue);
   w.kv("timeline_bucket_s", sc.timeline_bucket_s);
   w.kv("trace_dir", sc.trace_dir);
   w.kv("profile", sc.profile);

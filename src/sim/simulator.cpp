@@ -8,10 +8,22 @@
 
 namespace refer::sim {
 
-void Simulator::schedule_tagged(Time at, const char* tag, EventFn fn) {
+void Simulator::set_engine(QueueEngine engine) {
+  assert(pending() == 0 &&
+         "switch engines before scheduling; pending events would not move");
+  engine_ = engine;
+}
+
+void Simulator::schedule_event(Time at, const char* tag, EventClosure fn) {
   assert(at >= now_);
-  queue_.push(Event{at, next_seq_++, tag, std::move(fn)});
-  if (queue_.size() > peak_pending_) peak_pending_ = queue_.size();
+  Event ev{at, next_seq_++, tag, std::move(fn)};
+  if (engine_ == QueueEngine::kCalendar) {
+    calendar_.push(std::move(ev));
+  } else {
+    heap_.push(std::move(ev));
+  }
+  const std::size_t depth = pending();
+  if (depth > peak_pending_) peak_pending_ = depth;
 }
 
 void Simulator::set_profiler(StatsRegistry* registry) {
@@ -45,21 +57,26 @@ void Simulator::execute(Event& ev) {
 }
 
 void Simulator::run_until(Time until) {
-  while (!queue_.empty() && queue_.top().at <= until) {
-    // Copy out before pop: the event may schedule more events.
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
+  while (pending() != 0 && next_event_time() <= until) {
+    // Pop before executing: the event may schedule more events.
+    Event ev = pop_event();
     execute(ev);
   }
   if (now_ < until) now_ = until;
 }
 
 void Simulator::run_all() {
-  while (!queue_.empty()) {
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
+  while (pending() != 0) {
+    Event ev = pop_event();
     execute(ev);
   }
+}
+
+bool Simulator::step() {
+  if (pending() == 0) return false;
+  Event ev = pop_event();
+  execute(ev);
+  return true;
 }
 
 }  // namespace refer::sim

@@ -1,8 +1,19 @@
 // Discrete-event simulation kernel: a clock and an event queue.
 //
 // This is the ns-2 replacement substrate (see DESIGN.md, Substitutions).
-// Events are closures ordered by (time, insertion sequence); the sequence
+// Events are closures ordered by (time, insertion seq); the sequence
 // tiebreak makes runs bit-deterministic for a fixed seed.
+//
+// The scheduling core is allocation-free at steady state (see
+// docs/ARCHITECTURE.md, "Event engine"):
+//   - Captures are stored in an EventClosure -- inline up to 64 bytes
+//     (covers every lambda the codebase schedules), oversized captures
+//     through a free-list ClosurePool owned by this simulator.
+//   - Events are ordered by a calendar queue (amortised O(1) per
+//     operation) by default; QueueEngine::kLegacyHeap restores the
+//     original binary heap.  Both engines realise the identical
+//     (time, seq) total order, so runs are bit-identical either way --
+//     the same contract (and escape hatch style) as the spatial index.
 //
 // Observability: the kernel always tracks the peak event-queue depth
 // (one compare per push).  Attaching a profiler (set_profiler) times the
@@ -16,9 +27,11 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <utility>
 #include <vector>
+
+#include "sim/event_closure.hpp"
+#include "sim/event_queue.hpp"
 
 namespace refer {
 class StatsRegistry;  // common/stats_registry.hpp
@@ -30,39 +43,66 @@ namespace refer::sim {
 /// Simulation time in seconds.
 using Time = double;
 
+/// Which event-ordering structure the simulator runs on.
+enum class QueueEngine {
+  kCalendar,    ///< calendar queue, amortised O(1) (default)
+  kLegacyHeap,  ///< binary heap, O(log n) (--legacy-event-queue)
+};
+
 /// Event-driven simulator.  Single-threaded; protocols schedule closures.
 class Simulator {
  public:
+  /// Compatibility alias; closures are stored as EventClosure, and a
+  /// std::function passed here is just one more 32-byte inline capture.
   using EventFn = std::function<void()>;
+
+  explicit Simulator(QueueEngine engine = QueueEngine::kCalendar) noexcept
+      : engine_(engine) {}
 
   /// Current simulation time.
   [[nodiscard]] Time now() const noexcept { return now_; }
 
+  /// Switches the ordering engine.  Only valid while the queue is empty
+  /// (in practice: right after construction, before any scheduling).
+  void set_engine(QueueEngine engine);
+  [[nodiscard]] QueueEngine engine() const noexcept { return engine_; }
+
   /// Schedules `fn` to run at absolute time `at` (>= now()).  Events at
   /// equal times run in scheduling order.
-  void schedule_at(Time at, EventFn fn) {
-    schedule_tagged(at, nullptr, std::move(fn));
+  template <typename F>
+  void schedule_at(Time at, F&& fn) {
+    schedule_tagged(at, nullptr, std::forward<F>(fn));
   }
 
   /// Like schedule_at, with a profiling tag.  `tag` must outlive the
   /// simulator (pass a string literal); it only matters when a profiler
   /// is attached.
-  void schedule_tagged(Time at, const char* tag, EventFn fn);
+  template <typename F>
+  void schedule_tagged(Time at, const char* tag, F&& fn) {
+    schedule_event(at, tag, EventClosure(pool_, std::forward<F>(fn)));
+  }
 
   /// Schedules `fn` to run `delay` seconds from now.
-  void schedule_in(Time delay, EventFn fn) {
-    schedule_tagged(now_ + delay, nullptr, std::move(fn));
+  template <typename F>
+  void schedule_in(Time delay, F&& fn) {
+    schedule_tagged(now_ + delay, nullptr, std::forward<F>(fn));
   }
-  void schedule_in_tagged(Time delay, const char* tag, EventFn fn) {
-    schedule_tagged(now_ + delay, tag, std::move(fn));
+  template <typename F>
+  void schedule_in_tagged(Time delay, const char* tag, F&& fn) {
+    schedule_tagged(now_ + delay, tag, std::forward<F>(fn));
   }
 
   /// Runs events until the queue is empty or the next event is later than
-  /// `until`; the clock ends at max(now, until).
+  /// `until` (an event scheduled exactly at `until` still runs); the
+  /// clock ends at max(now, until).
   void run_until(Time until);
 
   /// Runs everything in the queue.
   void run_all();
+
+  /// Executes exactly one event if any is pending; returns whether one
+  /// ran.  Benchmark/test hook for driving the kernel event by event.
+  bool step();
 
   /// Number of events executed so far (for tests and sanity checks).
   [[nodiscard]] std::uint64_t events_executed() const noexcept {
@@ -70,11 +110,26 @@ class Simulator {
   }
 
   /// Number of events still pending.
-  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return engine_ == QueueEngine::kCalendar ? calendar_.size()
+                                             : heap_.size();
+  }
 
   /// High-water mark of the event queue over the simulator's lifetime.
   [[nodiscard]] std::size_t peak_pending() const noexcept {
     return peak_pending_;
+  }
+
+  /// Closure storage counters: inline vs. pooled captures, pool block
+  /// traffic.  `pooled_closures == 0` is the capture-audit invariant the
+  /// event-engine tests pin for every workload in the repo.
+  [[nodiscard]] const ClosurePool::Stats& closure_stats() const noexcept {
+    return pool_.stats();
+  }
+
+  /// Calendar-queue health (0 rebuilds under the legacy heap).
+  [[nodiscard]] std::uint64_t queue_rebuilds() const noexcept {
+    return calendar_.rebuilds();
   }
 
   /// Attaches a kernel profiler: each executed event's wall-time (µs) is
@@ -83,31 +138,29 @@ class Simulator {
   void set_profiler(StatsRegistry* registry);
 
  private:
-  struct Event {
-    Time at;
-    std::uint64_t seq;
-    const char* tag;
-    EventFn fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const noexcept {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
-  };
-
+  void schedule_event(Time at, const char* tag, EventClosure fn);
   void execute(Event& ev);
   [[nodiscard]] Histogram* profile_histogram(const char* tag);
+  [[nodiscard]] Time next_event_time() {
+    return engine_ == QueueEngine::kCalendar ? calendar_.next_time()
+                                             : heap_.next_time();
+  }
+  [[nodiscard]] Event pop_event() {
+    return engine_ == QueueEngine::kCalendar ? calendar_.pop() : heap_.pop();
+  }
 
   Time now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   std::size_t peak_pending_ = 0;
+  QueueEngine engine_ = QueueEngine::kCalendar;
   StatsRegistry* profiler_ = nullptr;
   /// Tag -> histogram cache; tags are interned by pointer (literals), so
-  /// a small linear scan beats hashing.
+  /// a small linear scan beats hashing.  Never allocates on the hit path.
   std::vector<std::pair<const char*, Histogram*>> profile_cache_;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  ClosurePool pool_;
+  CalendarQueue calendar_;
+  LegacyHeap heap_;
 };
 
 }  // namespace refer::sim

@@ -1,5 +1,7 @@
 #include "sim/trace.hpp"
 
+#include <algorithm>
+#include <cstdarg>
 #include <cstdio>
 #include <stdexcept>
 
@@ -40,9 +42,7 @@ const char* to_string(DropReason reason) noexcept {
   return "?";
 }
 
-std::string json_escape(std::string_view s) {
-  std::string out;
-  out.reserve(s.size());
+void json_escape_append(std::string& out, std::string_view s) {
   for (const char c : s) {
     switch (c) {
       case '"': out += "\\\""; break;
@@ -61,59 +61,102 @@ std::string json_escape(std::string_view s) {
         }
     }
   }
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  json_escape_append(out, s);
   return out;
 }
+
+namespace {
+
+/// printf-appends to `out` (records are short; 192 bytes covers the
+/// longest fixed-key burst by an order of magnitude).
+[[gnu::format(printf, 2, 3)]] void append_fmt(std::string& out,
+                                              const char* fmt, ...) {
+  char buf[192];
+  std::va_list args;
+  va_start(args, fmt);
+  const int n = std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  if (n > 0) out.append(buf, std::min<std::size_t>(static_cast<std::size_t>(n),
+                                                   sizeof buf - 1));
+}
+
+}  // namespace
 
 JsonlTraceWriter::JsonlTraceWriter(const std::string& path)
     : file_(std::fopen(path.c_str(), "w")) {
   if (!file_) {
     throw std::runtime_error("JsonlTraceWriter: cannot open " + path);
   }
+  buffer_.reserve(kBatchBytes + 512);
 }
 
 JsonlTraceWriter::~JsonlTraceWriter() {
-  if (file_) std::fclose(file_);
+  if (file_) {
+    flush();
+    std::fclose(file_);
+  }
+}
+
+void JsonlTraceWriter::flush() noexcept {
+  if (!file_) return;
+  if (!buffer_.empty()) {
+    std::fwrite(buffer_.data(), 1, buffer_.size(), file_);
+    buffer_.clear();
+  }
+  std::fflush(file_);
 }
 
 void JsonlTraceWriter::operator()(const TraceRecord& record) {
-  std::fprintf(file_,
-               "{\"t\":%.6f,\"event\":\"%s\",\"from\":%d,\"to\":%d,"
-               "\"bytes\":%zu,\"bucket\":%d",
-               record.t, to_string(record.event), record.from, record.to,
-               record.bytes, static_cast<int>(record.bucket));
+  append_fmt(buffer_,
+             "{\"t\":%.6f,\"event\":\"%s\",\"from\":%d,\"to\":%d,"
+             "\"bytes\":%zu,\"bucket\":%d",
+             record.t, to_string(record.event), record.from, record.to,
+             record.bytes, static_cast<int>(record.bucket));
   if (record.packet >= 0) {
-    std::fprintf(file_, ",\"packet\":%lld",
-                 static_cast<long long>(record.packet));
+    append_fmt(buffer_, ",\"packet\":%lld",
+               static_cast<long long>(record.packet));
   }
   if (record.reason != DropReason::kNone) {
-    std::fprintf(file_, ",\"reason\":\"%s\"", to_string(record.reason));
+    append_fmt(buffer_, ",\"reason\":\"%s\"", to_string(record.reason));
   }
   if (record.hop_index >= 0) {
-    std::fprintf(file_, ",\"hop\":%d", record.hop_index);
+    append_fmt(buffer_, ",\"hop\":%d", record.hop_index);
   }
   if (record.alt_index >= 0) {
-    std::fprintf(file_, ",\"alt\":%d", record.alt_index);
+    append_fmt(buffer_, ",\"alt\":%d", record.alt_index);
   }
   if (record.nominal_len >= 0) {
-    std::fprintf(file_, ",\"nominal_len\":%d", record.nominal_len);
+    append_fmt(buffer_, ",\"nominal_len\":%d", record.nominal_len);
   }
   if (record.degree >= 0) {
-    std::fprintf(file_, ",\"degree\":%d", record.degree);
+    append_fmt(buffer_, ",\"degree\":%d", record.degree);
   }
   if (!record.at_label.empty()) {
-    std::fprintf(file_, ",\"at\":\"%s\"",
-                 json_escape(record.at_label).c_str());
+    buffer_ += ",\"at\":\"";
+    json_escape_append(buffer_, record.at_label);
+    buffer_ += '"';
   }
   if (!record.dst_label.empty()) {
-    std::fprintf(file_, ",\"dst\":\"%s\"",
-                 json_escape(record.dst_label).c_str());
+    buffer_ += ",\"dst\":\"";
+    json_escape_append(buffer_, record.dst_label);
+    buffer_ += '"';
   }
   if (!record.next_label.empty()) {
-    std::fprintf(file_, ",\"next\":\"%s\"",
-                 json_escape(record.next_label).c_str());
+    buffer_ += ",\"next\":\"";
+    json_escape_append(buffer_, record.next_label);
+    buffer_ += '"';
   }
-  std::fputs("}\n", file_);
+  buffer_ += "}\n";
   ++written_;
+  if (buffer_.size() >= kBatchBytes) {
+    std::fwrite(buffer_.data(), 1, buffer_.size(), file_);
+    buffer_.clear();
+  }
 }
 
 }  // namespace refer::sim

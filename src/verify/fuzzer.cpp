@@ -57,6 +57,7 @@ harness::Scenario ScenarioFuzzer::generate(std::uint64_t seed) {
   // Kernel / harness toggles.
   sc.csma = rng.chance(0.9);
   sc.spatial_index = rng.chance(0.9);
+  sc.legacy_event_queue = rng.chance(0.1);
   sc.timeline_bucket_s = rng.chance(0.3) ? 5.0 : 0.0;
   sc.profile = rng.chance(0.25);
   return sc;

@@ -51,6 +51,7 @@ std::string to_repro_json(const ReproCase& repro) {
   w.kv("seed", std::to_string(sc.seed));
   w.kv("csma", sc.csma);
   w.kv("spatial_index", sc.spatial_index);
+  w.kv("legacy_event_queue", sc.legacy_event_queue);
   w.kv("timeline_bucket_s", sc.timeline_bucket_s);
   w.kv("profile", sc.profile);
   w.end_object();
@@ -182,6 +183,7 @@ std::optional<ReproCase> load_repro(const std::string& path) {
   r.string("seed", seed);
   r.boolean("csma", sc.csma);
   r.boolean("spatial_index", sc.spatial_index);
+  r.boolean("legacy_event_queue", sc.legacy_event_queue);
   r.number("timeline_bucket_s", sc.timeline_bucket_s);
   r.boolean("profile", sc.profile);
   if (!r.error.empty()) {

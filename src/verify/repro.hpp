@@ -17,7 +17,8 @@
 
 namespace refer::verify {
 
-inline constexpr int kReproVersion = 1;
+// v2: adds the scenario's legacy_event_queue kernel toggle.
+inline constexpr int kReproVersion = 2;
 
 struct ReproCase {
   harness::SystemKind kind = harness::SystemKind::kRefer;

@@ -1,0 +1,484 @@
+// Event-engine tests: the allocation-free scheduling core
+// (sim/event_closure.hpp, sim/event_queue.hpp) and the calendar-vs-heap
+// equivalence contract.
+//
+// Three layers:
+//   - Capture audit: replicas of every lambda shape the codebase
+//     schedules, pinned (at compile time) under EventClosure's inline
+//     buffer.  Growing a capture past 64 bytes fails here first, not as
+//     a silent perf cliff in the pool.
+//   - Kernel semantics: FIFO order for equal timestamps, inclusive
+//     run_until, and zero steady-state heap allocations -- counted by a
+//     global operator new hook -- on both queue engines.
+//   - Engine equivalence: both engines realise the identical (time, seq)
+//     total order, so a scripted kernel workload and a full fig04-style
+//     run (metrics, observability, trace bytes) must match field for
+//     field with --legacy-event-queue on and off.
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <new>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/stats_registry.hpp"
+#include "harness/experiment.hpp"
+#include "sim/event_closure.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+
+namespace {
+std::atomic<std::uint64_t> g_heap_allocs{0};
+}  // namespace
+
+// Counting hooks for the zero-allocation assertions.  Only counts; all
+// storage still comes from the default heap.
+void* operator new(std::size_t n) {
+  ++g_heap_allocs;
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace refer {
+namespace {
+
+using sim::EventClosure;
+using sim::QueueEngine;
+using sim::Simulator;
+
+template <typename Body>
+std::uint64_t allocations_during(Body&& body) {
+  const std::uint64_t before = g_heap_allocs.load();
+  body();
+  return g_heap_allocs.load() - before;
+}
+
+// ---------------------------------------------------------------------
+// Capture audit: one replica per scheduled-lambda shape in the codebase.
+// The originals live in channel.cpp, net/flooding.cpp, refer/system.cpp,
+// refer/embedding.cpp, harness/experiment.cpp, baselines/ and dht/.
+// ---------------------------------------------------------------------
+
+TEST(CaptureAudit, EveryScheduledCaptureShapeStaysInline) {
+  void* self = nullptr;
+  int from = 1, to = 2, bucket = 0;
+  bool lost = false;
+  std::function<void()> done;          // 32 bytes on libstdc++
+  std::shared_ptr<int> state;          // 16 bytes
+  double at = 0;
+
+  // Channel::unicast delivery -- the largest capture in the repo.
+  auto unicast = [self, from, to, bucket, lost, done] {
+    (void)self; (void)from; (void)to; (void)bucket; (void)lost; (void)done;
+  };
+  static_assert(EventClosure::fits_inline<decltype(unicast)>());
+  EXPECT_LE(sizeof(unicast), EventClosure::kInlineSize);
+
+  // Channel::broadcast fan-out (per-receiver delivery).
+  auto broadcast = [self, from, to, bucket, done] {
+    (void)self; (void)from; (void)to; (void)bucket; (void)done;
+  };
+  static_assert(EventClosure::fits_inline<decltype(broadcast)>());
+
+  // flooding.cpp round closures: shared round state + completion.
+  auto flood = [state, done] { (void)state; (void)done; };
+  static_assert(EventClosure::fits_inline<decltype(flood)>());
+
+  // refer/system.cpp maintenance: this + flag + completion.
+  auto maintenance = [self, lost, done] { (void)self; (void)lost; (void)done; };
+  static_assert(EventClosure::fits_inline<decltype(maintenance)>());
+
+  // ddear baseline: this + member id + shared message.
+  auto ddear = [self, from, state] { (void)self; (void)from; (void)state; };
+  static_assert(EventClosure::fits_inline<decltype(ddear)>());
+
+  // harness/experiment.cpp traffic ticks: this (+ source, + time).
+  auto tick = [self, from, at] { (void)self; (void)from; (void)at; };
+  static_assert(EventClosure::fits_inline<decltype(tick)>());
+
+  // The compatibility path: a whole std::function passed to schedule_at
+  // is itself just one more 32-byte inline capture.
+  static_assert(EventClosure::fits_inline<std::function<void()>>());
+}
+
+// ---------------------------------------------------------------------
+// Closure storage and pool behaviour.
+// ---------------------------------------------------------------------
+
+struct BigCapture {
+  unsigned char blob[96];  // > kInlineSize -> pooled (128-byte class)
+  std::uint64_t* sink;
+  void operator()() const { *sink += blob[0]; }
+};
+static_assert(!EventClosure::fits_inline<BigCapture>());
+
+TEST(EventClosure, InlineAndPooledStorageInvokeAndCount) {
+  sim::ClosurePool pool;
+  std::uint64_t hits = 0;
+
+  EventClosure small(pool, [&hits] { ++hits; });
+  EXPECT_TRUE(small.is_inline());
+  small();
+  EXPECT_EQ(hits, 1u);
+
+  BigCapture big{};
+  big.blob[0] = 1;
+  big.sink = &hits;
+  EventClosure pooled(pool, big);
+  EXPECT_FALSE(pooled.is_inline());
+  pooled();
+  EXPECT_EQ(hits, 2u);
+
+  // Move keeps the closure callable and the source disengaged.
+  EventClosure moved(std::move(pooled));
+  EXPECT_FALSE(static_cast<bool>(pooled));
+  moved();
+  EXPECT_EQ(hits, 3u);
+
+  EXPECT_EQ(pool.stats().inline_closures, 1u);
+  EXPECT_EQ(pool.stats().pooled_closures, 1u);
+  EXPECT_EQ(pool.stats().blocks_allocated, 1u);
+}
+
+TEST(EventClosure, PoolRecyclesBlocksOfTheSameClass) {
+  sim::ClosurePool pool;
+  std::uint64_t sink = 0;
+  BigCapture big{};
+  big.sink = &sink;
+
+  { EventClosure c(pool, big); c(); }  // allocates the first 128 B block
+  EXPECT_EQ(pool.stats().blocks_allocated, 1u);
+  EXPECT_EQ(pool.stats().blocks_recycled, 0u);
+
+  const std::uint64_t allocs = allocations_during([&] {
+    for (int i = 0; i < 64; ++i) {
+      EventClosure c(pool, big);
+      c();
+    }
+  });
+  EXPECT_EQ(allocs, 0u) << "recycled blocks must not touch the heap";
+  EXPECT_EQ(pool.stats().blocks_allocated, 1u);
+  EXPECT_EQ(pool.stats().blocks_recycled, 64u);
+  EXPECT_EQ(pool.stats().pooled_closures, 65u);
+}
+
+// ---------------------------------------------------------------------
+// Kernel semantics, pinned on both engines.
+// ---------------------------------------------------------------------
+
+class EventEngineTest : public ::testing::TestWithParam<QueueEngine> {};
+
+INSTANTIATE_TEST_SUITE_P(BothEngines, EventEngineTest,
+                         ::testing::Values(QueueEngine::kCalendar,
+                                           QueueEngine::kLegacyHeap),
+                         [](const auto& info) {
+                           return info.param == QueueEngine::kCalendar
+                                      ? "Calendar"
+                                      : "LegacyHeap";
+                         });
+
+TEST_P(EventEngineTest, EqualTimestampsRunInSchedulingOrder) {
+  Simulator simulator(GetParam());
+  std::vector<int> order;
+  // Two equal-time cohorts, scheduled interleaved with other times, so
+  // the seq tiebreak is exercised within and across pushes.
+  for (int i = 0; i < 16; ++i) simulator.schedule_at(2.0, [&order, i] { order.push_back(i); });
+  simulator.schedule_at(1.0, [&order] { order.push_back(100); });
+  for (int i = 16; i < 32; ++i) simulator.schedule_at(2.0, [&order, i] { order.push_back(i); });
+  simulator.run_all();
+
+  ASSERT_EQ(order.size(), 33u);
+  EXPECT_EQ(order.front(), 100);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i) + 1], i);
+}
+
+TEST_P(EventEngineTest, RunUntilIsInclusiveOfTheBoundary) {
+  Simulator simulator(GetParam());
+  std::vector<int> ran;
+  simulator.schedule_at(5.0, [&ran] { ran.push_back(0); });  // exactly at `until`
+  simulator.schedule_at(5.0 + 1e-9, [&ran] { ran.push_back(1); });
+  simulator.run_until(5.0);
+  EXPECT_EQ(ran, std::vector<int>{0});
+  EXPECT_EQ(simulator.now(), 5.0);
+  EXPECT_EQ(simulator.pending(), 1u);
+  simulator.run_all();
+  EXPECT_EQ(ran.size(), 2u);
+}
+
+TEST_P(EventEngineTest, StepExecutesExactlyOneEvent) {
+  Simulator simulator(GetParam());
+  int runs = 0;
+  simulator.schedule_at(1.0, [&runs] { ++runs; });
+  simulator.schedule_at(2.0, [&runs] { ++runs; });
+  EXPECT_TRUE(simulator.step());
+  EXPECT_EQ(runs, 1);
+  EXPECT_TRUE(simulator.step());
+  EXPECT_FALSE(simulator.step());
+  EXPECT_EQ(runs, 2);
+  EXPECT_EQ(simulator.events_executed(), 2u);
+}
+
+/// 56-byte self-rescheduling timer, the steady-state kernel workload.
+struct HoldTimer {
+  Simulator* simulator;
+  Rng rng;
+  double mean;
+  std::uint64_t pad = 0;
+
+  void operator()() {
+    simulator->schedule_in(rng.exponential(mean), HoldTimer(*this));
+  }
+};
+static_assert(EventClosure::fits_inline<HoldTimer>());
+
+TEST_P(EventEngineTest, SteadyStateSchedulingIsAllocationFree) {
+  Simulator simulator(GetParam());
+  Rng seeder(11);
+  for (int i = 0; i < 256; ++i) {
+    simulator.schedule_in(seeder.uniform(0, 2.0),
+                          HoldTimer{&simulator, seeder.split(), 1.0});
+  }
+  // Warm up: queue resizes, bucket/heap capacities and pool classes reach
+  // their steady state.  Long enough for every calendar bucket's
+  // occupancy high-water mark to be hit before the measured window.
+  for (int i = 0; i < 100000; ++i) simulator.step();
+
+  const std::uint64_t allocs = allocations_during([&] {
+    for (int i = 0; i < 5000; ++i) simulator.step();
+  });
+  EXPECT_EQ(allocs, 0u)
+      << "schedule_tagged + step must not allocate at steady state";
+  EXPECT_EQ(simulator.closure_stats().pooled_closures, 0u)
+      << "the hold timer capture must stay inline";
+}
+
+TEST_P(EventEngineTest, OversizedCapturesAreAllocationFreeOnceWarm) {
+  Simulator simulator(GetParam());
+  std::uint64_t sink = 0;
+  BigCapture big{};
+  big.sink = &sink;
+  // Warm one block per in-flight closure (here: one).
+  simulator.schedule_in(0.5, big);
+  simulator.run_until(1.0);
+  ASSERT_EQ(simulator.closure_stats().blocks_allocated, 1u);
+
+  const std::uint64_t allocs = allocations_during([&] {
+    for (int i = 0; i < 100; ++i) {
+      simulator.schedule_in(0.5, big);
+      simulator.step();
+    }
+  });
+  EXPECT_EQ(allocs, 0u);
+  EXPECT_EQ(simulator.closure_stats().blocks_allocated, 1u);
+  EXPECT_EQ(simulator.closure_stats().blocks_recycled, 100u);
+  EXPECT_EQ(sink, 0u);  // blob[0] stays zero; the sink proves invocation
+}
+
+TEST_P(EventEngineTest, ProfilerHistogramHitPathDoesNotAllocate) {
+  Simulator simulator(GetParam());
+  StatsRegistry registry;
+  simulator.set_profiler(&registry);
+  // First tagged event creates "sim.event_us.hot" (allocates once).
+  simulator.schedule_in_tagged(0.1, "hot", [] {});
+  simulator.schedule_in(0.2, [] {});  // warms "sim.event_us.other" too
+  simulator.run_all();
+
+  const std::uint64_t allocs = allocations_during([&] {
+    for (int i = 0; i < 1000; ++i) {
+      simulator.schedule_in_tagged(0.1, "hot", [] {});
+      simulator.step();
+    }
+  });
+  EXPECT_EQ(allocs, 0u) << "tag cache hit + Histogram::record must be free";
+  EXPECT_EQ(registry.histogram("sim.event_us.hot").count(), 1001u);
+}
+
+// ---------------------------------------------------------------------
+// Engine equivalence.
+// ---------------------------------------------------------------------
+
+/// Runs a deterministic scripted workload -- steady-state timers, an
+/// equal-time burst, far-horizon timers -- and returns the execution
+/// order plus kernel counters.
+struct ScriptResult {
+  std::vector<int> order;
+  std::uint64_t executed = 0;
+  std::size_t pending = 0;
+  std::size_t peak = 0;
+  std::vector<std::pair<std::string, std::uint64_t>> profile_counts;
+};
+
+ScriptResult run_script(QueueEngine engine) {
+  Simulator simulator(engine);
+  StatsRegistry registry;
+  simulator.set_profiler(&registry);
+  ScriptResult result;
+  Rng rng(29);
+  int next_id = 0;
+
+  struct Chain {
+    Simulator* simulator;
+    std::vector<int>* order;
+    Rng rng;
+    int* next_id;
+    int hops;
+    void operator()() {
+      order->push_back((*next_id)++);
+      if (hops > 0) {
+        Chain next(*this);
+        next.hops = hops - 1;
+        next.rng = rng.split();
+        simulator->schedule_in_tagged(rng.exponential(0.7), "chain",
+                                      std::move(next));
+      }
+    }
+  };
+  static_assert(EventClosure::fits_inline<Chain>());
+
+  for (int i = 0; i < 40; ++i) {
+    simulator.schedule_in_tagged(
+        rng.uniform(0, 3.0), "chain",
+        Chain{&simulator, &result.order, rng.split(), &next_id, 50});
+  }
+  // Equal-time burst (one broadcast neighbourhood).
+  for (int i = 0; i < 64; ++i) {
+    simulator.schedule_tagged(7.25, "burst",
+                              [&result, &next_id] {
+                                result.order.push_back((next_id)++ * -1);
+                              });
+  }
+  // Far horizons: left pending at the cut-off, so `pending` is nonzero.
+  for (int i = 0; i < 8; ++i) {
+    simulator.schedule_at(1e4 + i, [] {});
+  }
+
+  simulator.run_until(200.0);
+  result.executed = simulator.events_executed();
+  result.pending = simulator.pending();
+  result.peak = simulator.peak_pending();
+  for (const StatsRegistry::Entry& e : registry.snapshot()) {
+    if (e.is_histogram) result.profile_counts.emplace_back(e.name, e.count);
+  }
+  return result;
+}
+
+TEST(EngineEquivalence, ScriptedWorkloadMatchesAcrossEngines) {
+  const ScriptResult calendar = run_script(QueueEngine::kCalendar);
+  const ScriptResult heap = run_script(QueueEngine::kLegacyHeap);
+
+  EXPECT_EQ(calendar.order, heap.order);
+  EXPECT_EQ(calendar.executed, heap.executed);
+  EXPECT_EQ(calendar.pending, heap.pending);
+  EXPECT_EQ(calendar.peak, heap.peak);
+  // Profiler histogram *counts* must match (sums are wall-clock times and
+  // legitimately differ between engines).
+  EXPECT_EQ(calendar.profile_counts, heap.profile_counts);
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(EngineEquivalence, Fig04ScenarioIdenticalWithLegacyQueueOnAndOff) {
+  harness::Scenario sc;
+  sc.n_sensors = 100;
+  sc.warmup_s = 5;
+  sc.measure_s = 20;
+  sc.faulty_nodes = 5;
+  sc.seed = 13;
+
+  for (const harness::SystemKind kind :
+       {harness::SystemKind::kRefer, harness::SystemKind::kKautzOverlay}) {
+    const std::string base = ::testing::TempDir() + "event_engine_" +
+                             harness::to_string(kind);
+    sc.legacy_event_queue = false;
+    sc.trace_path = base + "_calendar.jsonl";
+    const harness::RunMetrics on = harness::run_once(kind, sc);
+    sc.legacy_event_queue = true;
+    sc.trace_path = base + "_legacy.jsonl";
+    const harness::RunMetrics off = harness::run_once(kind, sc);
+
+    ASSERT_TRUE(on.build_ok);
+    ASSERT_TRUE(off.build_ok);
+    EXPECT_EQ(on.packets_sent, off.packets_sent);
+    EXPECT_EQ(on.packets_delivered, off.packets_delivered);
+    EXPECT_EQ(on.qos_delivered, off.qos_delivered);
+    EXPECT_EQ(on.qos_throughput_kbps, off.qos_throughput_kbps);
+    EXPECT_EQ(on.avg_delay_ms, off.avg_delay_ms);
+    EXPECT_EQ(on.delay_p50_ms, off.delay_p50_ms);
+    EXPECT_EQ(on.delay_p95_ms, off.delay_p95_ms);
+    EXPECT_EQ(on.delay_p99_ms, off.delay_p99_ms);
+    EXPECT_EQ(on.delivery_ratio, off.delivery_ratio);
+    EXPECT_EQ(on.comm_energy_j, off.comm_energy_j);
+    EXPECT_EQ(on.construction_energy_j, off.construction_energy_j);
+    EXPECT_EQ(on.total_energy_j, off.total_energy_j);
+    EXPECT_EQ(on.qos_timeline_kbps, off.qos_timeline_kbps);
+
+    // Observability is engine-independent in full: sim.closure.* counts
+    // the same captures either way, and calendar-only health counters are
+    // deliberately not exported.
+    ASSERT_EQ(on.observability.size(), off.observability.size());
+    for (std::size_t i = 0; i < on.observability.size(); ++i) {
+      EXPECT_EQ(on.observability[i].name, off.observability[i].name);
+      EXPECT_EQ(on.observability[i].count, off.observability[i].count)
+          << on.observability[i].name;
+      EXPECT_EQ(on.observability[i].sum, off.observability[i].sum)
+          << on.observability[i].name;
+    }
+
+    // The traces must be byte-identical, not merely equivalent.
+    const std::string calendar_bytes = slurp(base + "_calendar.jsonl");
+    const std::string legacy_bytes = slurp(base + "_legacy.jsonl");
+    ASSERT_FALSE(calendar_bytes.empty());
+    EXPECT_EQ(calendar_bytes, legacy_bytes);
+    std::remove((base + "_calendar.jsonl").c_str());
+    std::remove((base + "_legacy.jsonl").c_str());
+  }
+  sc.trace_path.clear();
+}
+
+// ---------------------------------------------------------------------
+// Buffered trace sink.
+// ---------------------------------------------------------------------
+
+TEST(JsonlTraceBuffering, RecordsBatchUntilFlushMakesThemVisible) {
+  const std::string path = ::testing::TempDir() + "buffered_trace.jsonl";
+  sim::JsonlTraceWriter writer(path);
+  sim::TraceRecord record;
+  record.t = 1.5;
+  record.event = sim::TraceEvent::kPacketSent;
+  record.from = 3;
+  record.to = 4;
+  record.packet = 7;
+  record.at_label = "01\"2";  // exercises escaping through the batch path
+  for (int i = 0; i < 10; ++i) writer(record);
+
+  // Under kBatchBytes nothing reaches the file until a flush.
+  EXPECT_EQ(slurp(path), "");
+  writer.flush();
+  const std::string bytes = slurp(path);
+  EXPECT_EQ(writer.records_written(), 10u);
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(bytes.begin(), bytes.end(), '\n')),
+            10u);
+  EXPECT_NE(bytes.find("\"at\":\"01\\\"2\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace refer

@@ -40,6 +40,8 @@ void print_usage(std::FILE* out) {
                "  --trace DIR     write per-job JSONL traces to DIR/<bench>/\n"
                "  --profile       kernel profiler (per-event-tag wall-time)\n"
                "  --no-spatial-index  O(n) world scans instead of the grid\n"
+               "  --legacy-event-queue  binary-heap kernel instead of the\n"
+               "                  calendar queue\n"
                "  --quick         reps=1, measure=45 (smoke runs)\n"
                "  --full          reps=5, measure=200 (paper-closer scale)\n");
 }
