@@ -1,0 +1,68 @@
+// Closed-loop scenario family (no paper counterpart -- the paper stops
+// at one-way QoS delivery): control-loop QoS vs. actuator failure rate.
+//
+// x is app-tier breaks per actuator per 1000 s (Poisson, 15 s repair);
+// the app layer (src/app) senses events, reports them through the
+// routing stack under test, and requires the actuation command back at
+// the sensor within the loop deadline.  Four series per sweep: loop
+// completion ratio, loop latency p95, actuator availability, and mean
+// recovery time (keepalive-lapse detection -> recovery handshake).
+//
+// Expected shape: completion ratio and availability fall with the break
+// rate for every system (availability identically -- the fault schedule
+// is routing-independent); the routing stacks separate on completion
+// ratio and latency p95, REFER ahead of the baselines, mirroring the
+// one-way QoS figures.
+#include "registry.hpp"
+
+namespace refer::bench {
+namespace {
+
+int run_fig_app(Context& ctx) {
+  print_header("App closed-loop",
+               "control-loop QoS vs. actuator failure rate");
+
+  harness::Scenario base = ctx.opt.base;
+  base.app_enabled = true;
+  // The context snapshotted the CLI base scenario before this bench
+  // turned the app tier on; re-record so the JSON matches what ran.
+  ctx.results.set_scenario(base);
+
+  const std::vector<double> breaks_per_1000s{0, 5, 10, 20, 40};
+  const auto points = run_sweep(
+      ctx, base, breaks_per_1000s,
+      [](harness::Scenario& sc, double rate) {
+        sc.app_break_rate_hz = rate / 1000.0;
+      },
+      "breaks per actuator per 1000 s");
+  emit_series(ctx, "Loop completion vs. actuator failure rate",
+              "breaks / 1000 s", "loops completed within deadline / started",
+              "fig_app_completion", points,
+              [](const harness::AggregateMetrics& a) {
+                return a.app_loop_completion_ratio;
+              });
+  emit_series(ctx, "Loop latency p95 vs. actuator failure rate",
+              "breaks / 1000 s", "loop latency p95 (ms)", "fig_app_p95",
+              points, [](const harness::AggregateMetrics& a) {
+                return a.app_loop_p95_ms;
+              });
+  emit_series(ctx, "Actuator availability vs. failure rate",
+              "breaks / 1000 s", "actuator availability", "fig_app_avail",
+              points, [](const harness::AggregateMetrics& a) {
+                return a.app_actuator_availability;
+              });
+  emit_series(ctx, "Mean recovery time vs. failure rate", "breaks / 1000 s",
+              "mean recovery time (s)", "fig_app_recovery", points,
+              [](const harness::AggregateMetrics& a) {
+                return a.app_mean_recovery_s;
+              });
+  return 0;
+}
+
+}  // namespace
+
+REFER_REGISTER_BENCH("fig_app",
+                     "Closed loop: control-loop QoS vs. actuator failures",
+                     run_fig_app);
+
+}  // namespace refer::bench

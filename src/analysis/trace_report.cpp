@@ -42,11 +42,20 @@ bool is_routing_event(const std::string& event) {
          event == "packet_delivered" || event == "qos_deadline_miss";
 }
 
+/// Application-layer events (src/app): carried in the same stream but
+/// loop-scoped, not packet-scoped -- no mandatory routing keys.
+bool is_app_event(const std::string& event) {
+  return event == "app_register" || event == "app_keepalive_miss" ||
+         event == "app_actuate" || event == "app_loop_complete" ||
+         event == "app_loop_miss" || event == "app_actuator_down" ||
+         event == "app_actuator_up";
+}
+
 bool is_known_event(const std::string& event) {
-  return is_routing_event(event) || event == "trace_header" ||
-         event == "unicast_queued" || event == "unicast_delivered" ||
-         event == "unicast_failed" || event == "broadcast" ||
-         event == "node_down" || event == "node_up";
+  return is_routing_event(event) || is_app_event(event) ||
+         event == "trace_header" || event == "unicast_queued" ||
+         event == "unicast_delivered" || event == "unicast_failed" ||
+         event == "broadcast" || event == "node_down" || event == "node_up";
 }
 
 /// Folds one parsed record into the report; returns false on a schema
@@ -62,6 +71,13 @@ bool ingest(TraceReport& report, const JsonObject& obj) {
     const int d = static_cast<int>(num_or(obj, "degree", -1));
     if (d < 2) return false;
     report.header_degree = d;
+    return true;
+  }
+  if (event == "app_loop_miss") {
+    // A missed control loop is the app tier's drop: it joins the drop
+    // breakdown so one row answers "where did deliveries go?" across
+    // both tiers.
+    ++report.drops_by_reason["app_loop_miss"];
     return true;
   }
   if (!is_routing_event(event)) return true;

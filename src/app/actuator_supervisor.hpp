@@ -1,0 +1,92 @@
+// Per-actuator application-tier supervision (SmartOrchard's sink-side
+// bookkeeping): a keepalive-driven break/repair state machine.
+//
+// The supervisor pings its actuator's application process at every
+// keepalive tick (t0 + k * period).  While a fault window covers the
+// tick, the keepalive lapses; after `miss_limit` consecutive lapses the
+// actuator is *believed down* (kAppActuatorDown) and its sensors fail
+// over.  The first clean tick after a repair is the actuator's
+// re-registration handshake (kAppActuatorUp); the recovery time is the
+// believed-down span, (recovered_tick - down_tick) * period -- exact
+// tick-index arithmetic, so a scripted schedule pins the recovery-time
+// metric to the last bit.
+//
+// Ticks are evaluated by the ControlLoopEngine inside simulator events;
+// the supervisor itself is pure state (no scheduling, no tracing), so
+// it is trivially deterministic and unit-testable.
+#pragma once
+
+#include <vector>
+
+#include "app/fault_schedule.hpp"
+#include "sim/spatial_index.hpp"  // sim::NodeId
+
+namespace refer::app {
+
+class ActuatorSupervisor {
+ public:
+  /// What one keepalive tick observed.
+  enum class Tick {
+    kAlive,      ///< clean keepalive, actuator was already believed up
+    kMiss,       ///< keepalive lapsed, still under the miss limit
+    kWentDown,   ///< this lapse crossed the limit: now believed down
+    kStillDown,  ///< lapsed again while already believed down
+    kRecovered,  ///< clean keepalive after a believed-down span
+  };
+
+  /// `broken` are this actuator's merged fault windows, relative to t0.
+  ActuatorSupervisor(int index, sim::NodeId node,
+                     std::vector<FaultWindow> broken)
+      : index_(index), node_(node), broken_(std::move(broken)) {}
+
+  /// Physical truth: is the application process inside a fault window?
+  [[nodiscard]] bool broken_at(double rel_s) const noexcept {
+    for (const FaultWindow& w : broken_) {
+      if (w.covers(rel_s)) return true;
+    }
+    return false;
+  }
+
+  /// Advances the state machine by one keepalive tick (index `tick`,
+  /// time `rel_s` = tick * period relative to t0).
+  Tick on_keepalive(int tick, double rel_s, int miss_limit) {
+    if (broken_at(rel_s)) {
+      ++misses_;
+      if (down_) return Tick::kStillDown;
+      if (misses_ >= miss_limit) {
+        down_ = true;
+        down_tick_ = tick;
+        return Tick::kWentDown;
+      }
+      return Tick::kMiss;
+    }
+    if (down_) {
+      down_ = false;
+      misses_ = 0;
+      last_recovery_ticks_ = tick - down_tick_;
+      return Tick::kRecovered;
+    }
+    misses_ = 0;
+    return Tick::kAlive;
+  }
+
+  [[nodiscard]] int index() const noexcept { return index_; }
+  [[nodiscard]] sim::NodeId node() const noexcept { return node_; }
+  [[nodiscard]] bool believed_down() const noexcept { return down_; }
+  [[nodiscard]] int misses() const noexcept { return misses_; }
+  /// Ticks spent believed-down in the most recent recovery.
+  [[nodiscard]] int last_recovery_ticks() const noexcept {
+    return last_recovery_ticks_;
+  }
+
+ private:
+  int index_;
+  sim::NodeId node_;
+  std::vector<FaultWindow> broken_;
+  bool down_ = false;
+  int misses_ = 0;
+  int down_tick_ = 0;
+  int last_recovery_ticks_ = 0;
+};
+
+}  // namespace refer::app

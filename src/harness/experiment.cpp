@@ -10,6 +10,7 @@
 #include <iterator>
 #include <memory>
 
+#include "app/control_loop.hpp"
 #include "baselines/datree.hpp"
 #include "baselines/ddear.hpp"
 #include "baselines/kautz_overlay.hpp"
@@ -263,6 +264,16 @@ class Driver {
     });
     schedule_round(t0_);
     if (sc.faulty_nodes > 0) schedule_faults(t0_ + sc.fault_period_s);
+    // The closed-loop app tier rides alongside the base workload; its
+    // uplinks go through the same send_event path but are counted in the
+    // app_* metrics, not the one-way QoS counters.
+    std::unique_ptr<app::ControlLoopEngine> app_engine;
+    if (sc.app_enabled) {
+      app_engine = std::make_unique<app::ControlLoopEngine>(
+          sc, dep_->sim, dep_->world, dep_->channel, dep_->tracer, *system_,
+          dep_->actuators, dep_->sensors, dep_->stats);
+      app_engine->start(t0_, measure_from_, measure_to_);
+    }
 
     dep_->sim.run_until(measure_to_ + 2.0);  // drain in-flight packets
 
@@ -292,6 +303,20 @@ class Driver {
     metrics.delivery_ratio =
         sent_ ? static_cast<double>(delivered_) / static_cast<double>(sent_)
               : 0.0;
+    if (app_engine) {
+      const app::AppMetrics am = app_engine->finalize();
+      metrics.app_loops_started = am.loops_started;
+      metrics.app_loops_completed = am.loops_completed;
+      metrics.app_loops_within_deadline = am.loops_within_deadline;
+      metrics.app_loop_p50_ms = am.loop_p50_ms;
+      metrics.app_loop_p95_ms = am.loop_p95_ms;
+      metrics.app_loop_p99_ms = am.loop_p99_ms;
+      metrics.app_loop_completion_ratio = am.loop_completion_ratio;
+      metrics.app_actuator_availability = am.actuator_availability;
+      metrics.app_recoveries = am.recoveries;
+      metrics.app_mean_recovery_s = am.mean_recovery_s;
+      app_engine->export_stats(dep_->stats);
+    }
     metrics.comm_energy_j = dep_->energy.communication_total() - comm_at_start_;
     metrics.construction_energy_j = dep_->energy.construction_total();
     metrics.total_energy_j =
@@ -522,6 +547,12 @@ std::vector<AggregateMetrics> aggregate_jobs(const std::vector<JobSpec>& specs,
     agg.comm_energy_j.add(m.comm_energy_j);
     agg.construction_energy_j.add(m.construction_energy_j);
     agg.total_energy_j.add(m.total_energy_j);
+    if (spec.scenario.app_enabled) {
+      agg.app_loop_completion_ratio.add(m.app_loop_completion_ratio);
+      agg.app_loop_p95_ms.add(m.app_loop_p95_ms);
+      agg.app_actuator_availability.add(m.app_actuator_availability);
+      agg.app_mean_recovery_s.add(m.app_mean_recovery_s);
+    }
   }
   return groups;
 }

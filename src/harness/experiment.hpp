@@ -87,6 +87,12 @@ struct AggregateMetrics {
   Summary comm_energy_j;
   Summary construction_energy_j;
   Summary total_energy_j;
+  // Closed-loop app tier; only fed for Scenario::app_enabled jobs (n=0
+  // otherwise, so plain figure benches stay unchanged).
+  Summary app_loop_completion_ratio;
+  Summary app_loop_p95_ms;
+  Summary app_actuator_availability;
+  Summary app_mean_recovery_s;
 };
 
 /// One decomposed unit of an experiment: a single run_once call.  The

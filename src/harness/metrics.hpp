@@ -39,6 +39,26 @@ struct RunMetrics {
   /// the scenario did not request a timeline).
   std::vector<double> qos_timeline_kbps;
 
+  // Closed-loop application layer (Scenario::app_enabled; all zeros
+  // when the app tier is off).  A loop: event sensed -> report reaches
+  // a live actuator -> actuation command back at the sensor.
+  std::uint64_t app_loops_started = 0;  ///< sensed in the measure window
+  std::uint64_t app_loops_completed = 0;  ///< command delivered (even late)
+  std::uint64_t app_loops_within_deadline = 0;
+  /// Loop latency percentiles (ms) over completed counted loops.
+  double app_loop_p50_ms = 0;
+  double app_loop_p95_ms = 0;
+  double app_loop_p99_ms = 0;
+  /// app_loops_within_deadline / app_loops_started.
+  double app_loop_completion_ratio = 0;
+  /// 1 - broken actuator-seconds / (n_actuators * measure_s), an exact
+  /// integral of the app fault schedule over the measurement window.
+  double app_actuator_availability = 0;
+  /// Believed-down -> re-registered spans observed, and their mean
+  /// length (keepalive-lapse detection to the recovery handshake).
+  std::uint64_t app_recoveries = 0;
+  double app_mean_recovery_s = 0;
+
   /// Observability snapshot: every counter and histogram the run's
   /// StatsRegistry collected (router stats, drop reasons, channel queue
   /// waits, kernel profile, peak queue depth), sorted by name.  Exported

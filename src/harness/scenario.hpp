@@ -69,8 +69,37 @@ struct Scenario {
   /// system under test so the fuzzer / invariant engine can prove it
   /// catches real divergences (src/verify):
   ///   1 = REFER fail-over records a wrong Theorem 3.8 nominal length.
+  ///   2 = the app layer emits a spurious actuator-recovery handshake
+  ///       (kAppActuatorUp with no believed-down span).
   /// Serialized into results / repro.json so replays reproduce the bug.
   int planted_bug = 0;
+
+  // Closed-loop application layer (src/app): sense -> decide -> actuate
+  // on top of whichever routing stack runs.  Off by default so every
+  // pre-existing figure reproduces unchanged.
+  bool app_enabled = false;
+  /// Mean inter-arrival of sensed physical events (Poisson over the
+  /// area); each event starts up to a few control loops.
+  double app_event_period_s = 10;
+  /// A loop completes when the actuation command is back at the sensor
+  /// within this budget of the sensing instant.
+  double app_loop_deadline_s = 1.0;
+  /// Actuator keepalive ping period (supervision tier).
+  double app_keepalive_period_s = 5;
+  /// Consecutive lapsed keepalives before an actuator is believed down
+  /// and its sensors fail over.
+  int app_keepalive_miss_limit = 2;
+  /// Poisson app-tier actuator breaks: mean rate per actuator (Hz).
+  /// 0 = no random breaks.  Breaks hit the actuation process only; the
+  /// node keeps routing.
+  double app_break_rate_hz = 0;
+  /// Downtime of one random break (seconds).
+  double app_repair_s = 15;
+  /// Scripted fault windows "idx@start+duration;..." with times in
+  /// seconds relative to the workload start (app::parse_fault_schedule);
+  /// composes with app_break_rate_hz.  Flat string so repro.json stays
+  /// nesting-free.
+  std::string app_fault_schedule;
 
   std::uint64_t seed = 1;
 

@@ -41,6 +41,14 @@ void write_aggregate(JsonWriter& w, harness::SystemKind kind,
   write_summary(w, agg.construction_energy_j);
   w.key("total_energy_j");
   write_summary(w, agg.total_energy_j);
+  w.key("app_loop_completion_ratio");
+  write_summary(w, agg.app_loop_completion_ratio);
+  w.key("app_loop_p95_ms");
+  write_summary(w, agg.app_loop_p95_ms);
+  w.key("app_actuator_availability");
+  write_summary(w, agg.app_actuator_availability);
+  w.key("app_mean_recovery_s");
+  write_summary(w, agg.app_mean_recovery_s);
   w.end_object();
 }
 
@@ -59,6 +67,16 @@ void write_metrics(JsonWriter& w, const harness::RunMetrics& m) {
   w.kv("comm_energy_j", m.comm_energy_j);
   w.kv("construction_energy_j", m.construction_energy_j);
   w.kv("total_energy_j", m.total_energy_j);
+  w.kv("app_loops_started", m.app_loops_started);
+  w.kv("app_loops_completed", m.app_loops_completed);
+  w.kv("app_loops_within_deadline", m.app_loops_within_deadline);
+  w.kv("app_loop_p50_ms", m.app_loop_p50_ms);
+  w.kv("app_loop_p95_ms", m.app_loop_p95_ms);
+  w.kv("app_loop_p99_ms", m.app_loop_p99_ms);
+  w.kv("app_loop_completion_ratio", m.app_loop_completion_ratio);
+  w.kv("app_actuator_availability", m.app_actuator_availability);
+  w.kv("app_recoveries", m.app_recoveries);
+  w.kv("app_mean_recovery_s", m.app_mean_recovery_s);
   if (!m.qos_timeline_kbps.empty()) {
     w.key("qos_timeline_kbps");
     w.begin_array();
@@ -111,6 +129,14 @@ void write_scenario(JsonWriter& w, const harness::Scenario& sc) {
   w.kv("fault_period_s", sc.fault_period_s);
   w.kv("loss_probability", sc.loss_probability);
   w.kv("planted_bug", sc.planted_bug);
+  w.kv("app_enabled", sc.app_enabled);
+  w.kv("app_event_period_s", sc.app_event_period_s);
+  w.kv("app_loop_deadline_s", sc.app_loop_deadline_s);
+  w.kv("app_keepalive_period_s", sc.app_keepalive_period_s);
+  w.kv("app_keepalive_miss_limit", sc.app_keepalive_miss_limit);
+  w.kv("app_break_rate_hz", sc.app_break_rate_hz);
+  w.kv("app_repair_s", sc.app_repair_s);
+  w.kv("app_fault_schedule", sc.app_fault_schedule);
   w.kv("seed", sc.seed);
   w.kv("csma", sc.csma);
   w.kv("spatial_index", sc.spatial_index);

@@ -2,9 +2,12 @@
 // run, so BENCH_*.json perf trajectories are first-class instead of
 // scraped ASCII tables.
 //
-// Schema (version 2; v1 + observability):
+// Schema (version 3; v2 + the closed-loop application layer: app_*
+// scenario knobs, app_* RunMetrics -- loop latency percentiles, loop
+// completion ratio, actuator availability, mean recovery time -- and
+// four app_* aggregate summaries per series point):
 //   {
-//     "schema_version": 2,
+//     "schema_version": 3,
 //     "tool": "referbench",
 //     "benchmark": "fig04",
 //     "title": "...",
@@ -36,7 +39,7 @@
 
 namespace refer::runner {
 
-inline constexpr int kResultsSchemaVersion = 2;
+inline constexpr int kResultsSchemaVersion = 3;
 
 /// `git describe --always --dirty` captured when the build was
 /// configured ("unknown" outside a git checkout).

@@ -22,6 +22,13 @@ const char* to_string(TraceEvent event) noexcept {
     case TraceEvent::kPacketDelivered: return "packet_delivered";
     case TraceEvent::kQosDeadlineMiss: return "qos_deadline_miss";
     case TraceEvent::kTraceHeader: return "trace_header";
+    case TraceEvent::kAppRegister: return "app_register";
+    case TraceEvent::kAppKeepaliveMiss: return "app_keepalive_miss";
+    case TraceEvent::kAppActuate: return "app_actuate";
+    case TraceEvent::kAppLoopComplete: return "app_loop_complete";
+    case TraceEvent::kAppLoopMiss: return "app_loop_miss";
+    case TraceEvent::kAppActuatorDown: return "app_actuator_down";
+    case TraceEvent::kAppActuatorUp: return "app_actuator_up";
     case TraceEvent::kTraceEventCount: break;
   }
   return "?";

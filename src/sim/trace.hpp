@@ -57,6 +57,15 @@ enum class TraceEvent {
   kPacketDelivered,  ///< packet reached its destination
   kQosDeadlineMiss,  ///< delivered, but after the QoS deadline
   kTraceHeader,      ///< run metadata (Kautz degree d), once per trace
+  // Application-layer events (emitted by app::ControlLoopEngine; the
+  // `packet` field carries the control-loop id where one applies).
+  kAppRegister,       ///< sensor (from) registered with actuator (to)
+  kAppKeepaliveMiss,  ///< actuator keepalive lapsed (hop = miss count)
+  kAppActuate,        ///< actuator (from) issued a command to sensor (to)
+  kAppLoopComplete,   ///< command delivered back: the loop closed
+  kAppLoopMiss,       ///< loop deadline passed without completion
+  kAppActuatorDown,   ///< keepalive misses crossed the limit
+  kAppActuatorUp,     ///< repaired actuator re-registered
   /// Sentinel: number of event kinds.  Always keep last; counting sinks
   /// size their arrays from it so adding an event cannot read out of
   /// bounds.

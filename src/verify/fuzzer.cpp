@@ -6,6 +6,7 @@
 #include <filesystem>
 #include <memory>
 
+#include "app/fault_schedule.hpp"
 #include "common/rng.hpp"
 #include "runner/parallel_executor.hpp"
 
@@ -60,6 +61,37 @@ harness::Scenario ScenarioFuzzer::generate(std::uint64_t seed) {
   sc.legacy_event_queue = rng.chance(0.1);
   sc.timeline_bucket_s = rng.chance(0.3) ? 5.0 : 0.0;
   sc.profile = rng.chance(0.25);
+
+  // Closed-loop app layer (src/app): half the cases run control loops
+  // so the registration / keepalive / fail-over invariants stay fuzzed
+  // alongside the routing ones.  Draws are appended after every
+  // pre-existing knob, so seeds produce the same base scenario they
+  // always did.
+  sc.app_enabled = rng.chance(0.5);
+  if (sc.app_enabled) {
+    sc.app_event_period_s = rng.uniform(4, 12);
+    sc.app_loop_deadline_s = rng.uniform(0.5, 2.0);
+    sc.app_keepalive_period_s = rng.uniform(2, 6);
+    sc.app_keepalive_miss_limit = static_cast<int>(rng.range(1, 3));
+    sc.app_repair_s = rng.uniform(5, 20);
+    sc.app_break_rate_hz =
+        rng.chance(0.6) ? rng.uniform(0.005, 0.05) : 0.0;
+    if (rng.chance(0.3)) {
+      // A scripted break/repair window or two on top of (or instead of)
+      // the Poisson breaks -- the deterministic AppFaultSchedule path.
+      std::vector<app::FaultWindow> windows;
+      const int count = static_cast<int>(rng.range(1, 2));
+      for (int i = 0; i < count; ++i) {
+        app::FaultWindow w;
+        w.actuator_index = static_cast<int>(
+            rng.below(static_cast<std::uint64_t>(sc.n_actuators)));
+        w.start_rel_s = rng.uniform(0, sc.warmup_s + sc.measure_s);
+        w.duration_s = rng.uniform(2, 10);
+        windows.push_back(w);
+      }
+      sc.app_fault_schedule = app::format_fault_schedule(windows);
+    }
+  }
   return sc;
 }
 
@@ -119,6 +151,13 @@ FuzzSummary run_fuzz(const FuzzOptions& options,
       job.system = harness::SystemKind::kRefer;
       job.scenario = ScenarioFuzzer::generate(seed);
       job.scenario.planted_bug = options.planted_bug;
+      if (options.force_app) {
+        job.scenario.app_enabled = true;
+        if (job.scenario.app_break_rate_hz == 0 &&
+            job.scenario.app_fault_schedule.empty()) {
+          job.scenario.app_break_rate_hz = 0.01;
+        }
+      }
       job.scenario.trace_path =
           dir + "/fuzz_" + std::to_string(seed) + ".jsonl";
       checkers.push_back(std::make_unique<InvariantChecker>());

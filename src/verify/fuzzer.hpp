@@ -48,6 +48,10 @@ struct FuzzOptions {
   int jobs = 1;                 ///< ParallelExecutor width (<= 0: all cores)
   double budget_s = 0;          ///< stop launching new waves after this (0: off)
   int planted_bug = 0;          ///< forwarded to Scenario::planted_bug
+  /// Force the closed-loop app layer on for every case (and give cases
+  /// with no fault source a default Poisson break rate), so a fuzz run
+  /// exercises actuator failure / recovery in all cases, not ~half.
+  bool force_app = false;
   /// Directory for the per-case JSONL traces (created if missing; empty
   /// uses the system temp directory).  Failing cases leave their trace
   /// behind as fuzz_<seed>.jsonl.

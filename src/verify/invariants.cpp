@@ -96,6 +96,65 @@ void InvariantChecker::check_record(const harness::RunContext& ctx,
     add("record.failover_labels",
         format("Theorem 3.8 failover at t=%.6f missing labels", rec.t));
   }
+  check_app_record(ctx, rec);
+}
+
+void InvariantChecker::check_app_record(const harness::RunContext& ctx,
+                                        const sim::TraceRecord& rec) {
+  // Replays the app tier's registration state machine from its events:
+  // keepalive misses accumulate per actuator, a believed-down
+  // transition needs at least miss_limit of them (successful keepalives
+  // emit nothing, so this is a lower bound, not an exact count), a
+  // recovery handshake needs a preceding down, and a believed-down
+  // actuator must never actuate.
+  switch (rec.event) {
+    case sim::TraceEvent::kAppKeepaliveMiss:
+      ++app_state_[rec.from].misses;
+      break;
+    case sim::TraceEvent::kAppActuatorDown: {
+      AppActuatorState& st = app_state_[rec.from];
+      const int limit =
+          ctx.scenario ? ctx.scenario->app_keepalive_miss_limit : 1;
+      if (st.down) {
+        add("app.double_down",
+            format("actuator %d believed down twice at t=%.6f without a "
+                   "recovery in between",
+                   rec.from, rec.t));
+      }
+      if (st.misses < limit) {
+        add("app.down_without_misses",
+            format("actuator %d believed down at t=%.6f after %d misses "
+                   "(limit %d)",
+                   rec.from, rec.t, st.misses, limit));
+      }
+      st.down = true;
+      break;
+    }
+    case sim::TraceEvent::kAppActuatorUp: {
+      AppActuatorState& st = app_state_[rec.from];
+      ++app_ups_seen_;
+      if (!st.down) {
+        add("app.up_without_down",
+            format("actuator %d re-registered at t=%.6f without a "
+                   "preceding believed-down",
+                   rec.from, rec.t));
+      }
+      st.down = false;
+      st.misses = 0;
+      break;
+    }
+    case sim::TraceEvent::kAppActuate: {
+      const auto it = app_state_.find(rec.from);
+      if (it != app_state_.end() && it->second.down) {
+        add("app.actuate_while_down",
+            format("believed-down actuator %d issued a command at t=%.6f",
+                   rec.from, rec.t));
+      }
+      break;
+    }
+    default:
+      break;
+  }
 }
 
 void InvariantChecker::check_energy(const harness::RunContext& ctx) {
@@ -182,6 +241,38 @@ void InvariantChecker::check_metrics(const harness::RunContext& ctx,
     add("metrics.energy_split",
         format("total %.6f != comm %.6f + construction %.6f",
                m.total_energy_j, m.comm_energy_j, m.construction_energy_j));
+  }
+  if (ctx.scenario && ctx.scenario->app_enabled) {
+    if (m.app_loops_completed > m.app_loops_started) {
+      add("app.loop_count",
+          format("%" PRIu64 " completed > %" PRIu64 " started",
+                 m.app_loops_completed, m.app_loops_started));
+    }
+    if (m.app_loops_within_deadline > m.app_loops_completed) {
+      add("app.loop_count",
+          format("%" PRIu64 " within deadline > %" PRIu64 " completed",
+                 m.app_loops_within_deadline, m.app_loops_completed));
+    }
+    if (m.app_loop_completion_ratio < 0 || m.app_loop_completion_ratio > 1) {
+      add("app.completion_ratio", format("%.9f", m.app_loop_completion_ratio));
+    }
+    if (m.app_actuator_availability < 0 || m.app_actuator_availability > 1) {
+      add("app.availability", format("%.9f", m.app_actuator_availability));
+    }
+    if (m.app_mean_recovery_s < 0 ||
+        (m.app_recoveries == 0 && m.app_mean_recovery_s != 0)) {
+      add("app.recovery_mean",
+          format("%.6f s over %" PRIu64 " recoveries", m.app_mean_recovery_s,
+                 m.app_recoveries));
+    }
+    // Tap-replay cross-check: every recovery the metric counted must
+    // have emitted its handshake through the tracer, 1:1.
+    if (m.build_ok && m.app_recoveries != app_ups_seen_) {
+      add("app.recovery_count",
+          format("metrics report %" PRIu64 " recoveries, trace carried %" PRIu64
+                 " app_actuator_up handshake(s)",
+                 m.app_recoveries, app_ups_seen_));
+    }
   }
 }
 

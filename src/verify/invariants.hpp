@@ -28,6 +28,7 @@
 #pragma once
 
 #include <cstdio>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -73,6 +74,8 @@ class InvariantChecker final : public harness::RunObserver {
   void add(const std::string& check, std::string detail);
   void check_record(const harness::RunContext& ctx,
                     const sim::TraceRecord& record);
+  void check_app_record(const harness::RunContext& ctx,
+                        const sim::TraceRecord& record);
   void check_energy(const harness::RunContext& ctx);
   void check_metrics(const harness::RunContext& ctx,
                      const harness::RunMetrics& metrics);
@@ -83,6 +86,16 @@ class InvariantChecker final : public harness::RunObserver {
   std::uint64_t records_seen_ = 0;
   std::uint64_t suppressed_ = 0;
   double last_record_t_ = 0;
+  /// App-layer registration state machine, replayed from the app_*
+  /// events (node -> keepalive misses since the last clean tick, and
+  /// the believed-down flag).  A down must follow >= miss_limit misses,
+  /// an up must follow a down, a down actuator must not actuate.
+  struct AppActuatorState {
+    int misses = 0;
+    bool down = false;
+  };
+  std::map<sim::NodeId, AppActuatorState> app_state_;
+  std::uint64_t app_ups_seen_ = 0;
 };
 
 }  // namespace refer::verify

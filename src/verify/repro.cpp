@@ -47,6 +47,14 @@ std::string to_repro_json(const ReproCase& repro) {
   w.kv("fault_period_s", sc.fault_period_s);
   w.kv("loss_probability", sc.loss_probability);
   w.kv("planted_bug", sc.planted_bug);
+  w.kv("app_enabled", sc.app_enabled);
+  w.kv("app_event_period_s", sc.app_event_period_s);
+  w.kv("app_loop_deadline_s", sc.app_loop_deadline_s);
+  w.kv("app_keepalive_period_s", sc.app_keepalive_period_s);
+  w.kv("app_keepalive_miss_limit", sc.app_keepalive_miss_limit);
+  w.kv("app_break_rate_hz", sc.app_break_rate_hz);
+  w.kv("app_repair_s", sc.app_repair_s);
+  w.kv("app_fault_schedule", sc.app_fault_schedule);
   // As a string: JSON numbers are doubles and drop seed bits past 2^53.
   w.kv("seed", std::to_string(sc.seed));
   w.kv("csma", sc.csma);
@@ -148,8 +156,11 @@ std::optional<ReproCase> load_repro(const std::string& path) {
   FieldReader r{*obj, {}};
   int version = 0;
   r.integer("repro_version", version);
-  if (r.error.empty() && version != kReproVersion) {
-    std::fprintf(stderr, "repro: %s has version %d, expected %d\n",
+  // v2 files stay loadable: they simply predate the app-layer knobs, so
+  // those keep their Scenario defaults (app off).
+  if (r.error.empty() && version != kReproVersion && version != 2) {
+    std::fprintf(stderr, "repro: %s has version %d, expected %d (or the "
+                 "still-readable 2)\n",
                  path.c_str(), version, kReproVersion);
     return std::nullopt;
   }
@@ -180,6 +191,16 @@ std::optional<ReproCase> load_repro(const std::string& path) {
   r.number("fault_period_s", sc.fault_period_s);
   r.number("loss_probability", sc.loss_probability);
   r.integer("planted_bug", sc.planted_bug);
+  if (version >= 3) {
+    r.boolean("app_enabled", sc.app_enabled);
+    r.number("app_event_period_s", sc.app_event_period_s);
+    r.number("app_loop_deadline_s", sc.app_loop_deadline_s);
+    r.number("app_keepalive_period_s", sc.app_keepalive_period_s);
+    r.integer("app_keepalive_miss_limit", sc.app_keepalive_miss_limit);
+    r.number("app_break_rate_hz", sc.app_break_rate_hz);
+    r.number("app_repair_s", sc.app_repair_s);
+    r.string("app_fault_schedule", sc.app_fault_schedule);
+  }
   r.string("seed", seed);
   r.boolean("csma", sc.csma);
   r.boolean("spatial_index", sc.spatial_index);

@@ -18,7 +18,10 @@
 namespace refer::verify {
 
 // v2: adds the scenario's legacy_event_queue kernel toggle.
-inline constexpr int kReproVersion = 2;
+// v3: adds the closed-loop app layer's eight app_* scenario knobs
+//     (src/app).  load_repro still reads v2 files -- the app fields
+//     then keep their defaults (app_enabled = false).
+inline constexpr int kReproVersion = 3;
 
 struct ReproCase {
   harness::SystemKind kind = harness::SystemKind::kRefer;

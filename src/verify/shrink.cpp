@@ -72,6 +72,23 @@ constexpr Reduction kReductions[] = {
       sc.profile = false;
       return true;
     },
+    // App layer: first strip the actuator fault sources (keepalives and
+    // loops keep running), then turn the whole tier off.  The oracle
+    // keeps either only while the original violation still fires.
+    [](harness::Scenario& sc) {
+      if (!sc.app_enabled ||
+          (sc.app_break_rate_hz == 0 && sc.app_fault_schedule.empty())) {
+        return false;
+      }
+      sc.app_break_rate_hz = 0;
+      sc.app_fault_schedule.clear();
+      return true;
+    },
+    [](harness::Scenario& sc) {
+      if (!sc.app_enabled) return false;
+      sc.app_enabled = false;
+      return true;
+    },
 };
 
 }  // namespace

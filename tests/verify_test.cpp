@@ -101,6 +101,16 @@ void expect_identical(const harness::RunMetrics& a,
   EXPECT_EQ(a.construction_energy_j, b.construction_energy_j);
   EXPECT_EQ(a.total_energy_j, b.total_energy_j);
   EXPECT_EQ(a.qos_timeline_kbps, b.qos_timeline_kbps);
+  EXPECT_EQ(a.app_loops_started, b.app_loops_started);
+  EXPECT_EQ(a.app_loops_completed, b.app_loops_completed);
+  EXPECT_EQ(a.app_loops_within_deadline, b.app_loops_within_deadline);
+  EXPECT_EQ(a.app_loop_p50_ms, b.app_loop_p50_ms);
+  EXPECT_EQ(a.app_loop_p95_ms, b.app_loop_p95_ms);
+  EXPECT_EQ(a.app_loop_p99_ms, b.app_loop_p99_ms);
+  EXPECT_EQ(a.app_loop_completion_ratio, b.app_loop_completion_ratio);
+  EXPECT_EQ(a.app_actuator_availability, b.app_actuator_availability);
+  EXPECT_EQ(a.app_recoveries, b.app_recoveries);
+  EXPECT_EQ(a.app_mean_recovery_s, b.app_mean_recovery_s);
   ASSERT_EQ(a.observability.size(), b.observability.size());
   for (std::size_t i = 0; i < a.observability.size(); ++i) {
     const auto& ea = a.observability[i];
@@ -154,6 +164,50 @@ TEST(Repro, RoundTripsEveryScenarioField) {
   EXPECT_EQ(loaded->scenario.seed, sc.seed);
   // One string comparison covers every serialized field exactly.
   EXPECT_EQ(to_repro_json(*loaded), to_repro_json(repro));
+  std::remove(path.c_str());
+}
+
+TEST(Repro, StillLoadsVersion2FilesWithAppDefaults) {
+  // A v3 document with every app_* key stripped and the version stamped
+  // back to 2 -- exactly what a pre-app-layer fuzzer wrote.  It must
+  // load, with the app knobs at their Scenario defaults (app off).
+  ReproCase repro;
+  repro.kind = harness::SystemKind::kRefer;
+  repro.scenario = ScenarioFuzzer::generate(7);
+  repro.scenario.app_enabled = false;
+  std::string doc = to_repro_json(repro);
+  const auto replace = [&doc](const std::string& from,
+                              const std::string& to) {
+    const std::size_t at = doc.find(from);
+    ASSERT_NE(at, std::string::npos) << from;
+    doc.replace(at, from.size(), to);
+  };
+  replace("\"repro_version\":3", "\"repro_version\":2");
+  const std::size_t app_from = doc.find("\"app_enabled\"");
+  const std::size_t app_to = doc.find("\"seed\"");
+  ASSERT_NE(app_from, std::string::npos);
+  ASSERT_NE(app_to, std::string::npos);
+  ASSERT_LT(app_from, app_to);
+  doc.erase(app_from, app_to - app_from);
+
+  const std::string path = temp_path("verify_v2_compat.json");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs(doc.c_str(), f);
+  std::fclose(f);
+  const auto loaded = load_repro(path);
+  ASSERT_TRUE(loaded.has_value()) << doc;
+  const harness::Scenario defaults;
+  EXPECT_FALSE(loaded->scenario.app_enabled);
+  EXPECT_EQ(loaded->scenario.app_event_period_s,
+            defaults.app_event_period_s);
+  EXPECT_EQ(loaded->scenario.app_keepalive_miss_limit,
+            defaults.app_keepalive_miss_limit);
+  EXPECT_TRUE(loaded->scenario.app_fault_schedule.empty());
+  // Every non-app field survived the round trip.
+  EXPECT_EQ(loaded->scenario.seed, repro.scenario.seed);
+  EXPECT_EQ(loaded->scenario.n_sensors, repro.scenario.n_sensors);
+  EXPECT_EQ(loaded->scenario.measure_s, repro.scenario.measure_s);
   std::remove(path.c_str());
 }
 

@@ -27,6 +27,8 @@ void print_fuzz_usage(std::FILE* out) {
       "  --budget-s S   stop launching new waves after S seconds\n"
       "  --jobs N       parallel jobs; 0 = one per core (default 1)\n"
       "  --plant K      plant known bug K (testing the checker itself)\n"
+      "  --app-faults   force the closed-loop app layer (with actuator\n"
+      "                 fault schedules) on in every case\n"
       "  --dir PATH     trace directory (default: <tmp>/refer_fuzz)\n"
       "  --repro PATH   where the shrunk reproducer goes (default\n"
       "                 repro.json); written only when a case fails\n"
@@ -68,6 +70,8 @@ FuzzArgs parse_fuzz_args(int argc, char** argv) {
       args.options.jobs = std::atoi(need_value(i++));
     } else if (flag == "--plant") {
       args.options.planted_bug = std::atoi(need_value(i++));
+    } else if (flag == "--app-faults") {
+      args.options.force_app = true;
     } else if (flag == "--dir") {
       args.options.trace_dir = need_value(i++);
     } else if (flag == "--repro") {
