@@ -21,6 +21,12 @@
 //                   DIR/<bench>/ (analyze with tools trace_report)
 //   --profile       attach the kernel profiler (per-event-tag wall-time
 //                   histograms in the observability section)
+//   --timeline S    record the flight-recorder timeseries with bucket
+//                   width S seconds (schema v4 "timeseries" section;
+//                   analyze with tools timeline_report)
+//   --phase-profile attach the wall-clock phase profiler (per-bucket
+//                   phase_us in the timeseries; wall time is
+//                   nondeterministic, so off by default)
 //   --no-spatial-index  disable the world's spatial grid index (O(n)
 //                   linear scans; results are bit-identical, only slower)
 //   --legacy-event-queue  run the simulator kernel on the original binary
@@ -107,6 +113,13 @@ inline BenchOptions parse_options(int argc, char** argv) {
       opt.trace_dir = string_value(i);
     } else if (arg == "--profile") {
       opt.base.profile = true;
+    } else if (arg == "--timeline") {
+      opt.base.timeline_bucket_s = numeric_value(i);
+      if (opt.base.timeline_bucket_s <= 0) {
+        usage_error("--timeline: bucket seconds must be positive");
+      }
+    } else if (arg == "--phase-profile") {
+      opt.base.phase_profile = true;
     } else if (arg == "--no-spatial-index") {
       opt.base.spatial_index = false;
     } else if (arg == "--legacy-event-queue") {

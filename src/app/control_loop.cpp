@@ -4,6 +4,7 @@
 
 #include "common/geometry.hpp"
 #include "common/stats.hpp"
+#include "sim/telemetry.hpp"
 
 namespace refer::app {
 
@@ -204,7 +205,10 @@ void ControlLoopEngine::start_loop(int sensor_index) {
   loop.sensor_index = sensor_index;
   loop.sense_t = now;
   loop.counted = now >= measure_from_ && now < measure_to_;
-  if (loop.counted) ++loops_started_;
+  if (loop.counted) {
+    ++loops_started_;
+    if (telemetry_) telemetry_->on_app_loop_start(now);
+  }
   const std::size_t slot = loops_.size();
   loops_.push_back(loop);
 
@@ -254,8 +258,11 @@ void ControlLoopEngine::on_command(std::size_t loop_slot, bool delivered) {
   ++loops_completed_;
   latencies_ms_.push_back(latency_s * 1000.0);
   latency_ms_->record(latency_s * 1000.0);
-  if (!loop.missed && latency_s <= scenario_.app_loop_deadline_s) {
-    ++loops_within_deadline_;
+  const bool within =
+      !loop.missed && latency_s <= scenario_.app_loop_deadline_s;
+  if (within) ++loops_within_deadline_;
+  if (telemetry_) {
+    telemetry_->on_app_loop_done(loop.sense_t, within, latency_s * 1000.0);
   }
 }
 

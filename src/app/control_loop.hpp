@@ -48,6 +48,10 @@
 #include "sim/trace.hpp"
 #include "sim/world.hpp"
 
+namespace refer::sim {
+class TelemetryRecorder;  // sim/telemetry.hpp
+}
+
 namespace refer::app {
 
 /// End-of-run summary, copied into harness::RunMetrics by the driver.
@@ -94,6 +98,13 @@ class ControlLoopEngine {
   /// during the run under "app.loop_latency_ms").
   void export_stats(StatsRegistry& stats) const;
 
+  /// Attaches the run's flight recorder: counted loop starts and
+  /// completions stream into the per-bucket app-loop series (bucketed by
+  /// sense time).  Pass nullptr to detach; call before start().
+  void set_telemetry(sim::TelemetryRecorder* telemetry) noexcept {
+    telemetry_ = telemetry;
+  }
+
  private:
   struct Loop {
     std::int64_t id = -1;
@@ -129,6 +140,7 @@ class ControlLoopEngine {
   const std::vector<sim::NodeId>& actuators_;
   const std::vector<sim::NodeId>& sensors_;
   Histogram* latency_ms_;  ///< "app.loop_latency_ms" (owned by registry)
+  sim::TelemetryRecorder* telemetry_ = nullptr;
 
   Rng rng_;
   double t0_ = 0, measure_from_ = 0, measure_to_ = 0;

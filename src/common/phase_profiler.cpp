@@ -1,0 +1,16 @@
+#include "common/phase_profiler.hpp"
+
+namespace refer {
+
+const char* to_string(Phase phase) noexcept {
+  switch (phase) {
+    case Phase::kKernelDispatch: return "kernel_dispatch";
+    case Phase::kMediumScan: return "medium_scan";
+    case Phase::kRoutingDecide: return "routing_decide";
+    case Phase::kFlooding: return "flooding";
+    case Phase::kSpatialQuery: return "spatial_query";
+  }
+  return "?";
+}
+
+}  // namespace refer

@@ -54,6 +54,15 @@ class Histogram {
   /// bucket holding the q-th sample, clamped to the exact [min, max].
   [[nodiscard]] double quantile(double q) const noexcept;
 
+  /// Forgets every sample.  Lets scratch histograms (the telemetry
+  /// recorder's per-bucket percentile cursors) be reused without
+  /// allocating.
+  void reset() noexcept {
+    buckets_.fill(0);
+    count_ = 0;
+    sum_ = min_ = max_ = 0.0;
+  }
+
  private:
   std::array<std::uint32_t, kBuckets> buckets_{};
   std::uint64_t count_ = 0;

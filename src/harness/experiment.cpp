@@ -19,6 +19,7 @@
 #include "refer/system.hpp"
 #include "runner/thread_pool.hpp"
 #include "sim/channel.hpp"
+#include "sim/telemetry.hpp"
 #include "sim/trace.hpp"
 
 namespace refer::harness {
@@ -123,6 +124,14 @@ struct Deployment {
     energy.set_initial_battery(sc.initial_battery_j);
     channel.set_stats(&stats);
     if (sc.profile) sim.set_profiler(&stats);
+    // Wall-clock phase attribution: always wired (a disabled profiler is
+    // one branch per scope), enabled only on request -- the numbers are
+    // nondeterministic and stay out of the bit-identity contracts.
+    phases.set_enabled(sc.phase_profile);
+    sim.set_phase_profiler(&phases);
+    world.set_phase_profiler(&phases);
+    channel.set_phase_profiler(&phases);
+    flooder.set_phase_profiler(&phases);
     if (!sc.trace_path.empty()) {
       trace_writer = std::make_unique<sim::JsonlTraceWriter>(sc.trace_path);
       tracer.set_sink(std::ref(*trace_writer));
@@ -194,9 +203,11 @@ struct Deployment {
       case SystemKind::kRefer: {
         core::ReferConfig config;
         config.router.planted_bug = scenario.planted_bug;
-        return std::make_unique<ReferAdapter>(sim, world, channel, energy,
-                                              Rng(scenario.seed ^ 0x5EED),
-                                              &tracer, config);
+        auto adapter = std::make_unique<ReferAdapter>(
+            sim, world, channel, energy, Rng(scenario.seed ^ 0x5EED), &tracer,
+            config);
+        adapter->refer_system()->router().set_phase_profiler(&phases);
+        return adapter;
       }
       case SystemKind::kDaTree:
         return std::make_unique<baselines::DaTree>(sim, world, channel,
@@ -215,6 +226,7 @@ struct Deployment {
   Rng rng;
   sim::Tracer tracer;
   StatsRegistry stats;
+  PhaseProfiler phases;
   std::unique_ptr<sim::JsonlTraceWriter> trace_writer;
   sim::Simulator sim;
   sim::World world;
@@ -255,8 +267,24 @@ class Driver {
     measure_from_ = t0_ + sc.warmup_s;
     measure_to_ = measure_from_ + sc.measure_s;
     if (sc.timeline_bucket_s > 0) {
-      timeline_counts_.resize(static_cast<std::size_t>(
-          std::ceil(sc.measure_s / sc.timeline_bucket_s)));
+      // The flight recorder: preallocates every series buffer and
+      // schedules one gauge tick per bucket boundary.  The gauge source
+      // closes over the deployment; it is installed once here and never
+      // allocates when invoked.
+      telemetry_.start(
+          dep_->sim, &dep_->channel, &dep_->energy,
+          [this](sim::GaugeSnapshot& g) {
+            g.channel_airtime_s = dep_->channel.stats().total_airtime_s;
+            g.energy_j = dep_->energy.grand_total();
+            if (core::ReferSystem* rs = system_->refer_system()) {
+              const kautz::RouteCache& rc = rs->router().route_cache();
+              g.route_cache_hits = rc.hits();
+              g.route_cache_misses = rc.misses();
+            }
+          },
+          measure_from_, sc.measure_s, sc.timeline_bucket_s,
+          dep_->world.size(), &dep_->phases);
+      dep_->channel.set_telemetry(&telemetry_);
     }
 
     dep_->sim.schedule_at(measure_from_, [this] {
@@ -272,6 +300,7 @@ class Driver {
       app_engine = std::make_unique<app::ControlLoopEngine>(
           sc, dep_->sim, dep_->world, dep_->channel, dep_->tracer, *system_,
           dep_->actuators, dep_->sensors, dep_->stats);
+      if (telemetry_.active()) app_engine->set_telemetry(&telemetry_);
       app_engine->start(t0_, measure_from_, measure_to_);
     }
 
@@ -290,15 +319,12 @@ class Driver {
     metrics.delay_p50_ms = percentile(all_delays_ms_, 50);
     metrics.delay_p95_ms = percentile(all_delays_ms_, 95);
     metrics.delay_p99_ms = percentile(all_delays_ms_, 99);
-    if (sc.timeline_bucket_s > 0) {
-      const double bits_per_pkt =
-          static_cast<double>(sc.packet_bytes) * 8.0;
-      metrics.qos_timeline_kbps.reserve(timeline_counts_.size());
-      for (const std::uint64_t count : timeline_counts_) {
-        metrics.qos_timeline_kbps.push_back(
-            static_cast<double>(count) * bits_per_pkt / 1000.0 /
-            sc.timeline_bucket_s);
-      }
+    if (telemetry_.active()) {
+      telemetry_.finalize();
+      dep_->channel.set_telemetry(nullptr);  // recorder dies with the Driver
+      metrics.timeseries = telemetry_.series();
+      metrics.qos_timeline_kbps =
+          metrics.timeseries.qos_timeline_kbps(sc.packet_bytes);
     }
     metrics.delivery_ratio =
         sent_ ? static_cast<double>(delivered_) / static_cast<double>(sent_)
@@ -389,7 +415,10 @@ class Driver {
       if (at >= measure_to_) break;
       dep_->sim.schedule_at(at, [this, src, at] {
         const bool counted = at >= measure_from_ && at < measure_to_;
-        if (counted) ++sent_;
+        if (counted) {
+          ++sent_;
+          if (telemetry_.active()) telemetry_.on_send(at);
+        }
         system_->send_event(src, dep_->scenario.packet_bytes,
                             [this, counted](const Delivery& d) {
                               if (!counted || !d.delivered) return;
@@ -399,11 +428,16 @@ class Driver {
                               kautz_hops_->record(d.kautz_hops);
                               physical_hops_->record(d.physical_hops);
                               failovers_->record(d.failovers);
-                              if (d.delay_s <=
-                                  dep_->scenario.qos_deadline_s) {
+                              const bool qos_ok =
+                                  d.delay_s <= dep_->scenario.qos_deadline_s;
+                              if (telemetry_.active()) {
+                                telemetry_.on_delivery(dep_->sim.now(),
+                                                       d.delay_s * 1000.0,
+                                                       qos_ok, d.failovers);
+                              }
+                              if (qos_ok) {
                                 ++qos_delivered_;
                                 delay_sum_s_ += d.delay_s;
-                                record_timeline(dep_->sim.now());
                               } else if (dep_->tracer.enabled()) {
                                 sim::TraceRecord rec;
                                 rec.t = dep_->sim.now();
@@ -435,15 +469,6 @@ class Driver {
     });
   }
 
-  void record_timeline(double at) {
-    if (timeline_counts_.empty()) return;
-    const double rel = at - measure_from_;
-    if (rel < 0) return;
-    const auto bucket = static_cast<std::size_t>(
-        rel / dep_->scenario.timeline_bucket_s);
-    if (bucket < timeline_counts_.size()) ++timeline_counts_[bucket];
-  }
-
   Deployment* dep_;
   WsanSystem* system_;
   // Per-delivery streaming histograms (owned by the deployment registry).
@@ -459,7 +484,7 @@ class Driver {
   std::uint64_t sent_ = 0, delivered_ = 0, qos_delivered_ = 0;
   double delay_sum_s_ = 0;
   std::vector<double> all_delays_ms_;
-  std::vector<std::uint64_t> timeline_counts_;
+  sim::TelemetryRecorder telemetry_;
 };
 
 }  // namespace

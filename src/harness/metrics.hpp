@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/stats_registry.hpp"
+#include "sim/telemetry.hpp"
 
 namespace refer::harness {
 
@@ -36,8 +37,16 @@ struct RunMetrics {
   double total_energy_j = 0;
 
   /// QoS throughput per Scenario::timeline_bucket_s bucket (empty when
-  /// the scenario did not request a timeline).
+  /// the scenario did not request a timeline).  Derived from
+  /// timeseries.qos_delivered with the exact legacy (schema v3)
+  /// arithmetic.
   std::vector<double> qos_timeline_kbps;
+
+  /// The run's full flight-recorder series (sim/telemetry.hpp);
+  /// bucket_s == 0 when the scenario did not request a timeline.
+  /// Serialized as the "timeseries" section of the schema-v4 results
+  /// JSON.
+  sim::TimeSeries timeseries;
 
   // Closed-loop application layer (Scenario::app_enabled; all zeros
   // when the app tier is off).  A loop: event sensed -> report reaches

@@ -118,11 +118,21 @@ struct Scenario {
   /// (proven by test, like spatial_index); only wall-clock differs.
   bool legacy_event_queue = false;
 
-  /// When > 0, RunMetrics::qos_timeline_kbps reports QoS throughput per
-  /// bucket of this many seconds across the measurement window -- the
-  /// within-run decay curve (how a system degrades as its topology goes
-  /// stale).
+  /// When > 0, the run carries a flight recorder (sim::TelemetryRecorder):
+  /// RunMetrics::timeseries holds per-bucket series (throughput, delay
+  /// percentiles, queue waits, busy fraction, hot nodes, app-loop QoS,
+  /// ...) for buckets of this many seconds across the measurement
+  /// window, and RunMetrics::qos_timeline_kbps (the legacy within-run
+  /// decay curve) is re-derived from it bit-identically.
   double timeline_bucket_s = 0;
+
+  /// When true (and timeline_bucket_s > 0), the wall-clock phase
+  /// profiler (common/phase_profiler.hpp) is enabled and the timeseries
+  /// gains per-bucket wall-time attribution (kernel dispatch, medium
+  /// scan, routing decide, flooding, spatial query).  Off by default:
+  /// wall-clock data is nondeterministic, so it is excluded from the
+  /// bit-identity contracts the determinism tests and CI compare.
+  bool phase_profile = false;
 
   /// When non-empty, every radio frame event of the run is written to
   /// this file as JSON lines (sim::JsonlTraceWriter).

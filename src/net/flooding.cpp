@@ -76,6 +76,7 @@ void Flooder::discover(NodeId src, NodeId target, int ttl,
   auto relay = std::make_shared<std::function<void(NodeId, NodeId, int)>>();
   *relay = [this, state, target, bucket, query_bytes, reply,
             relay](NodeId at, NodeId from, int ttl_left) {
+    PhaseProfiler::Scope phase(phases_, Phase::kFlooding);
     if (state->finished) return;
     if (state->forwarded.contains(at)) return;  // already forwarded
     // Only accept over symmetric links: the discovered route must carry
@@ -119,6 +120,7 @@ void Flooder::collect_paths(NodeId src, NodeId target, int ttl,
   auto relay = std::make_shared<std::function<void(NodeId, NodeId, int)>>();
   *relay = [this, state, target, bucket, query_bytes, query_tx_range,
             relay](NodeId at, NodeId from, int ttl_left) {
+    PhaseProfiler::Scope phase(phases_, Phase::kFlooding);
     if (state->finished) return;
     if (at == target) {
       // Record every arrival: forwarder's first-accept path + target.
@@ -157,6 +159,7 @@ void Flooder::announce(NodeId src, int ttl, sim::EnergyBucket bucket,
   auto bounded = std::make_shared<std::function<void(NodeId, NodeId, int)>>();
   *bounded = [this, state, bucket, bytes, on_node_shared, bounded,
               ttl](NodeId at, NodeId parent, int hops_travelled) {
+    PhaseProfiler::Scope phase(phases_, Phase::kFlooding);
     if (state->forwarded.contains(at)) return;
     if (*on_node_shared && parent >= 0) {
       if (!(*on_node_shared)(at, hops_travelled, parent)) return;  // rejected

@@ -80,10 +80,18 @@ class Flooder {
     return next_query_;
   }
 
+  /// Attaches the wall-clock phase profiler: every flood relay decision
+  /// (suppression check, path bookkeeping, rebroadcast kickoff) charges
+  /// Phase::kFlooding.
+  void set_phase_profiler(PhaseProfiler* phases) noexcept {
+    phases_ = phases;
+  }
+
  private:
   sim::Simulator* sim_;
   sim::World* world_;
   sim::Channel* channel_;
+  PhaseProfiler* phases_ = nullptr;
   std::uint64_t next_query_ = 0;
 };
 

@@ -152,6 +152,7 @@ void ReferRouter::enter_overlay(NodeId at, int budget, PacketPtr pkt) {
 
 void ReferRouter::intra_step(Cid cid, Label label, NodeId node,
                              PacketPtr pkt) {
+  PhaseProfiler::Scope phase(phases_, Phase::kRoutingDecide);
   if (pkt->stop_at_any_actuator && world_->is_actuator(node)) {
     deliver(node, pkt);
     return;
@@ -255,6 +256,7 @@ void ReferRouter::intra_step(Cid cid, Label label, NodeId node,
 void ReferRouter::try_routes(Cid cid, Label label, NodeId node,
                              std::vector<kautz::Route> routes,
                              std::size_t next_choice, PacketPtr pkt) {
+  PhaseProfiler::Scope phase(phases_, Phase::kRoutingDecide);
   if (next_choice >= routes.size()) {
     // All d successors towards the current target failed.  When the
     // target was a corner actuator of the overlay ascent, exclude it and
@@ -335,6 +337,7 @@ void ReferRouter::try_routes(Cid cid, Label label, NodeId node,
 }
 
 void ReferRouter::inter_step(NodeId actuator, PacketPtr pkt) {
+  PhaseProfiler::Scope phase(phases_, Phase::kRoutingDecide);
   const auto& cells = topology_->actuator_cells(actuator);
   if (cells.empty()) {
     drop(pkt, sim::DropReason::kNoRoute);

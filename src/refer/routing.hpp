@@ -86,6 +86,13 @@ class ReferRouter {
   /// branch per decision when no sink is attached.
   void set_tracer(sim::Tracer* tracer) noexcept { tracer_ = tracer; }
 
+  /// Attaches the wall-clock phase profiler: every per-hop forwarding
+  /// decision (route-cache lookup, alternative ordering, Theorem 3.8
+  /// fail-over selection) charges Phase::kRoutingDecide.
+  void set_phase_profiler(PhaseProfiler* phases) noexcept {
+    phases_ = phases;
+  }
+
   /// Emits one kTraceHeader record carrying the overlay's Kautz degree
   /// d (no-op without a tracer).  ReferSystem calls this once after a
   /// successful build so trace_report can audit Theorem 3.8 with the
@@ -184,6 +191,7 @@ class ReferRouter {
   Rng rng_;
   net::Flooder* flooder_ = nullptr;
   sim::Tracer* tracer_ = nullptr;
+  PhaseProfiler* phases_ = nullptr;
   std::int64_t next_packet_id_ = 0;
   Stats stats_;
   /// Repeated (label, target) pairs -- every hop of every flow -- serve

@@ -52,6 +52,112 @@ void write_aggregate(JsonWriter& w, harness::SystemKind kind,
   w.end_object();
 }
 
+template <typename T>
+void write_number_array(JsonWriter& w, const char* name,
+                        const std::vector<T>& values) {
+  w.key(name);
+  w.begin_array();
+  for (const T v : values) w.value(v);
+  w.end_array();
+}
+
+/// The flight-recorder series as parallel per-bucket arrays, plus the
+/// two derived curves every consumer wants (qos_kbps re-derives the
+/// legacy v3 qos_timeline_kbps values bit-identically; delivery_ratio
+/// is per-bucket delivered/sent).  The wall-clock phase keys exist only
+/// when the run had phase profiling on -- they are nondeterministic and
+/// stay out of the bit-identity comparisons.
+void write_timeseries(JsonWriter& w, const harness::RunMetrics& m) {
+  const sim::TimeSeries& ts = m.timeseries;
+  w.begin_object();
+  w.kv("bucket_s", ts.bucket_s);
+  w.kv("start_s", ts.start_s);
+  w.kv("window_s", ts.window_s);
+  w.kv("top_k", ts.top_k);
+  w.kv("late_samples", ts.late_samples);
+  write_number_array(w, "sent", ts.sent);
+  write_number_array(w, "delivered", ts.delivered);
+  write_number_array(w, "qos_delivered", ts.qos_delivered);
+  write_number_array(w, "qos_kbps", m.qos_timeline_kbps);
+  w.key("delivery_ratio");
+  w.begin_array();
+  for (std::size_t b = 0; b < ts.buckets(); ++b) {
+    w.value(ts.sent[b] ? static_cast<double>(ts.delivered[b]) /
+                             static_cast<double>(ts.sent[b])
+                       : 0.0);
+  }
+  w.end_array();
+  write_number_array(w, "failovers", ts.failovers);
+  write_number_array(w, "delay_p50_ms", ts.delay_p50_ms);
+  write_number_array(w, "delay_p95_ms", ts.delay_p95_ms);
+  write_number_array(w, "queue_wait_mean_us", ts.queue_wait_mean_us);
+  write_number_array(w, "queue_wait_p95_us", ts.queue_wait_p95_us);
+  write_number_array(w, "channel_busy_fraction", ts.channel_busy_fraction);
+  write_number_array(w, "energy_rate_w", ts.energy_rate_w);
+  write_number_array(w, "event_queue_depth", ts.event_queue_depth);
+  write_number_array(w, "route_cache_hit_rate", ts.route_cache_hit_rate);
+  write_number_array(w, "app_loops_started", ts.app_loops_started);
+  write_number_array(w, "app_loops_ok", ts.app_loops_ok);
+  write_number_array(w, "app_loop_mean_ms", ts.app_loop_mean_ms);
+  const auto top_k = static_cast<std::size_t>(ts.top_k);
+  w.key("top_airtime");
+  w.begin_array();
+  for (std::size_t b = 0; b < ts.buckets(); ++b) {
+    w.begin_array();
+    for (std::size_t k = 0; k < top_k; ++k) {
+      const std::size_t i = b * top_k + k;
+      if (ts.top_airtime_node[i] < 0) break;  // unused tail slots
+      w.begin_object();
+      w.kv("node", ts.top_airtime_node[i]);
+      w.kv("rate", ts.top_airtime_rate[i]);
+      w.end_object();
+    }
+    w.end_array();
+  }
+  w.end_array();
+  w.key("top_energy");
+  w.begin_array();
+  for (std::size_t b = 0; b < ts.buckets(); ++b) {
+    w.begin_array();
+    for (std::size_t k = 0; k < top_k; ++k) {
+      const std::size_t i = b * top_k + k;
+      if (ts.top_energy_node[i] < 0) break;
+      w.begin_object();
+      w.kv("node", ts.top_energy_node[i]);
+      w.kv("rate_w", ts.top_energy_rate_w[i]);
+      w.end_object();
+    }
+    w.end_array();
+  }
+  w.end_array();
+  if (!ts.phase_wall_us.empty()) {
+    w.key("phase_us");
+    w.begin_object();
+    for (int p = 0; p < kPhaseCount; ++p) {
+      w.key(to_string(static_cast<Phase>(p)));
+      w.begin_array();
+      for (std::size_t b = 0; b < ts.buckets(); ++b) {
+        w.value(ts.phase_wall_us[b * static_cast<std::size_t>(kPhaseCount) +
+                                 static_cast<std::size_t>(p)]);
+      }
+      w.end_array();
+    }
+    w.end_object();
+    w.key("phase_total_us");
+    w.begin_object();
+    for (int p = 0; p < kPhaseCount; ++p) {
+      double total = 0;
+      for (std::size_t b = 0; b < ts.buckets(); ++b) {
+        total += ts.phase_wall_us[b * static_cast<std::size_t>(kPhaseCount) +
+                                  static_cast<std::size_t>(p)];
+      }
+      w.kv(to_string(static_cast<Phase>(p)), total);
+    }
+    w.end_object();
+  }
+  w.end_object();
+}
+
 void write_metrics(JsonWriter& w, const harness::RunMetrics& m) {
   w.begin_object();
   w.kv("build_ok", m.build_ok);
@@ -82,6 +188,10 @@ void write_metrics(JsonWriter& w, const harness::RunMetrics& m) {
     w.begin_array();
     for (const double v : m.qos_timeline_kbps) w.value(v);
     w.end_array();
+  }
+  if (m.timeseries.bucket_s > 0) {
+    w.key("timeseries");
+    write_timeseries(w, m);
   }
   w.key("observability");
   w.begin_array();
@@ -142,6 +252,7 @@ void write_scenario(JsonWriter& w, const harness::Scenario& sc) {
   w.kv("spatial_index", sc.spatial_index);
   w.kv("legacy_event_queue", sc.legacy_event_queue);
   w.kv("timeline_bucket_s", sc.timeline_bucket_s);
+  w.kv("phase_profile", sc.phase_profile);
   w.kv("trace_dir", sc.trace_dir);
   w.kv("profile", sc.profile);
   w.end_object();

@@ -2,12 +2,17 @@
 // run, so BENCH_*.json perf trajectories are first-class instead of
 // scraped ASCII tables.
 //
-// Schema (version 3; v2 + the closed-loop application layer: app_*
-// scenario knobs, app_* RunMetrics -- loop latency percentiles, loop
-// completion ratio, actuator availability, mean recovery time -- and
-// four app_* aggregate summaries per series point):
+// Schema (version 4; v3 + the flight recorder: a "timeseries" object
+// per job metrics block when the scenario requested a timeline
+// (timeline_bucket_s > 0) -- parallel per-bucket arrays for workload,
+// delay percentiles, queue waits, channel busy fraction, energy rate,
+// hot nodes, route-cache hit rate, app-loop QoS, plus "phase_total_us"
+// / per-bucket "phase_us" wall-clock attribution when phase_profile
+// was on -- and the phase_profile scenario flag.  v3 documents (no
+// timeseries, no phase_profile) still parse: every addition is a new
+// optional key):
 //   {
-//     "schema_version": 3,
+//     "schema_version": 4,
 //     "tool": "referbench",
 //     "benchmark": "fig04",
 //     "title": "...",
@@ -19,6 +24,23 @@
 //     "jobs_run": [ {"x":.., "system":"REFER", "rep":0, "seed":1,
 //                    "wall_ms":.., "metrics": { <every RunMetrics
 //                    field, incl. delay_p50/p95/p99_ms>,
+//                    "timeseries": {"bucket_s":.., "start_s":..,
+//                      "window_s":.., "top_k":3, "late_samples":..,
+//                      "sent":[..], "delivered":[..],
+//                      "qos_delivered":[..], "qos_kbps":[..],
+//                      "delivery_ratio":[..], "failovers":[..],
+//                      "delay_p50_ms":[..], "delay_p95_ms":[..],
+//                      "queue_wait_mean_us":[..],
+//                      "queue_wait_p95_us":[..],
+//                      "channel_busy_fraction":[..],
+//                      "energy_rate_w":[..], "event_queue_depth":[..],
+//                      "route_cache_hit_rate":[..],
+//                      "app_loops_started":[..], "app_loops_ok":[..],
+//                      "app_loop_mean_ms":[..],
+//                      "top_airtime": [[{"node":..,"rate":..},..],..],
+//                      "top_energy": [[{"node":..,"rate_w":..},..],..],
+//                      "phase_us": {"medium_scan":[..], ...},
+//                      "phase_total_us": {"medium_scan":.., ...}},
 //                    "observability": [
 //                      {"name":"router.failovers","kind":"counter",
 //                       "count":17},
@@ -39,7 +61,7 @@
 
 namespace refer::runner {
 
-inline constexpr int kResultsSchemaVersion = 3;
+inline constexpr int kResultsSchemaVersion = 4;
 
 /// `git describe --always --dirty` captured when the build was
 /// configured ("unknown" outside a git checkout).

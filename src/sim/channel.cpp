@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "sim/telemetry.hpp"
+
 namespace refer::sim {
 
 Channel::Channel(Simulator& sim, World& world, EnergyTracker& energy, Rng rng,
@@ -42,6 +44,7 @@ Time Channel::reserve_tx_slot(NodeId node, double duration) {
   busy_until_[idx] = end;
   if (config_.mac == MacMode::kCsma) {
     // CSMA: the medium around the sender is occupied; in-range nodes defer.
+    PhaseProfiler::Scope phase(phases_, Phase::kMediumScan);
     world_->visit_reachable(node, [this, end](NodeId n) {
       auto& busy = busy_until_[static_cast<std::size_t>(n)];
       busy = std::max(busy, end);
@@ -68,6 +71,9 @@ void Channel::unicast(NodeId from, NodeId to, std::size_t bytes,
       frame_time(bytes) + rng_.uniform(0.0, config_.max_jitter_s);
   const Time start = reserve_tx_slot(from, airtime);
   if (queue_wait_us_) queue_wait_us_->record((start - sim_->now()) * 1e6);
+  if (telemetry_) {
+    telemetry_->on_queue_wait(sim_->now(), (start - sim_->now()) * 1e6);
+  }
   const Time deliver_at = start + airtime;
   const bool lost = rng_.chance(config_.loss_probability);
   sim_->schedule_tagged(deliver_at, "channel.unicast",
@@ -107,6 +113,9 @@ void Channel::broadcast(NodeId from, std::size_t bytes, EnergyBucket bucket,
       frame_time(bytes) + rng_.uniform(0.0, config_.max_jitter_s);
   const Time start = reserve_tx_slot(from, airtime);
   if (queue_wait_us_) queue_wait_us_->record((start - sim_->now()) * 1e6);
+  if (telemetry_) {
+    telemetry_->on_queue_wait(sim_->now(), (start - sim_->now()) * 1e6);
+  }
   sim_->schedule_tagged(start + airtime, "channel.broadcast",
                         [this, from, bucket, range_override,
                          on_receive = std::move(on_receive)] {

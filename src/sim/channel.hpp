@@ -23,6 +23,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/phase_profiler.hpp"
 #include "common/rng.hpp"
 #include "common/stats_registry.hpp"
 #include "sim/energy.hpp"
@@ -31,6 +32,8 @@
 #include "sim/world.hpp"
 
 namespace refer::sim {
+
+class TelemetryRecorder;  // sim/telemetry.hpp
 
 /// Medium-access model (ablation knob; kCsma is the evaluated default).
 enum class MacMode {
@@ -116,6 +119,19 @@ class Channel {
   /// frame when detached; sampling never perturbs simulation state.
   void set_stats(StatsRegistry* registry);
 
+  /// Attaches the run's flight recorder: every frame's queue wait also
+  /// streams into the per-bucket telemetry series.  Pass nullptr to
+  /// detach; same one-branch / never-perturbs contract as set_stats.
+  void set_telemetry(TelemetryRecorder* telemetry) noexcept {
+    telemetry_ = telemetry;
+  }
+
+  /// Attaches the wall-clock phase profiler: the CSMA neighbourhood
+  /// defer in reserve_tx_slot charges Phase::kMediumScan.
+  void set_phase_profiler(PhaseProfiler* phases) noexcept {
+    phases_ = phases;
+  }
+
  private:
   /// Earliest time `node` can start transmitting (its neighbourhood's
   /// medium must be free); reserves the slot for the node *and* defers
@@ -133,6 +149,8 @@ class Channel {
   int size_listener_ = -1;
   Tracer* tracer_ = nullptr;
   Histogram* queue_wait_us_ = nullptr;  // owned by the attached registry
+  TelemetryRecorder* telemetry_ = nullptr;
+  PhaseProfiler* phases_ = nullptr;
 };
 
 }  // namespace refer::sim

@@ -44,6 +44,9 @@ Histogram* Simulator::profile_histogram(const char* tag) {
 void Simulator::execute(Event& ev) {
   now_ = ev.at;
   ++executed_;
+  // Wall-clock attribution: every executed event charges the kernel
+  // dispatch phase (inclusive of the subsystem phases it nests).
+  PhaseProfiler::Scope phase(phase_profiler_, Phase::kKernelDispatch);
   if (profiler_) {
     const auto t0 = std::chrono::steady_clock::now();
     ev.fn();

@@ -30,6 +30,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/phase_profiler.hpp"
 #include "sim/event_closure.hpp"
 #include "sim/event_queue.hpp"
 
@@ -137,6 +138,13 @@ class Simulator {
   /// nullptr to detach.  The registry must outlive the attachment.
   void set_profiler(StatsRegistry* registry);
 
+  /// Attaches the wall-clock phase profiler: every executed event
+  /// charges Phase::kKernelDispatch (common/phase_profiler.hpp).  Pass
+  /// nullptr to detach; a disabled profiler costs one branch per event.
+  void set_phase_profiler(PhaseProfiler* phases) noexcept {
+    phase_profiler_ = phases;
+  }
+
  private:
   void schedule_event(Time at, const char* tag, EventClosure fn);
   void execute(Event& ev);
@@ -155,6 +163,7 @@ class Simulator {
   std::size_t peak_pending_ = 0;
   QueueEngine engine_ = QueueEngine::kCalendar;
   StatsRegistry* profiler_ = nullptr;
+  PhaseProfiler* phase_profiler_ = nullptr;
   /// Tag -> histogram cache; tags are interned by pointer (literals), so
   /// a small linear scan beats hashing.  Never allocates on the hit path.
   std::vector<std::pair<const char*, Histogram*>> profile_cache_;

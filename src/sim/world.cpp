@@ -173,6 +173,7 @@ void World::bin_node(NodeId id, Time now) {
 }
 
 NodeId World::closest_actuator(NodeId id) {
+  PhaseProfiler::Scope phase(phases_, Phase::kSpatialQuery);
   const Point p = position(id);
   if (index_enabled_ && ensure_index()) {
     // Ring search over the static actuator grid: every point of a

@@ -112,6 +112,12 @@ class World {
   /// Attaches a tracer: liveness flips emit kNodeDown / kNodeUp events.
   void set_tracer(Tracer* tracer) noexcept { tracer_ = tracer; }
 
+  /// Attaches the wall-clock phase profiler: every geometric query
+  /// (visit_reachable, closest_actuator) charges Phase::kSpatialQuery.
+  void set_phase_profiler(PhaseProfiler* phases) noexcept {
+    phases_ = phases;
+  }
+
   /// True iff `from` can reach `to` right now: both alive and the distance
   /// is within the *sender's* transmission range.  Already O(1) -- a
   /// single pairwise check needs no index.
@@ -124,6 +130,7 @@ class World {
   /// embedding protocol's path queries); 0 uses the node's own range.
   template <typename Fn>
   void visit_reachable(NodeId from, Fn&& fn, double range_override = 0) {
+    PhaseProfiler::Scope phase(phases_, Phase::kSpatialQuery);
     if (!alive(from)) return;
     const Point p = position(from);
     const double r = range_override > 0 ? range_override : range(from);
@@ -248,6 +255,7 @@ class World {
   Rect area_;
   Simulator* sim_;
   Tracer* tracer_ = nullptr;
+  PhaseProfiler* phases_ = nullptr;
   std::vector<Node> nodes_;
 
   bool index_enabled_ = true;

@@ -61,6 +61,7 @@ std::string to_repro_json(const ReproCase& repro) {
   w.kv("spatial_index", sc.spatial_index);
   w.kv("legacy_event_queue", sc.legacy_event_queue);
   w.kv("timeline_bucket_s", sc.timeline_bucket_s);
+  w.kv("phase_profile", sc.phase_profile);
   w.kv("profile", sc.profile);
   w.end_object();
   return w.str() + "\n";
@@ -116,6 +117,13 @@ struct FieldReader {
     number(key, d);
     if (error == before) out = static_cast<std::size_t>(d);
   }
+  /// Like boolean(), but a missing key keeps `out`'s default instead of
+  /// erroring -- for fields added after files of this version shipped.
+  void optional_boolean(const std::string& key, bool& out) {
+    if (!obj.contains(key)) return;
+    boolean(key, out);
+  }
+
   void boolean(const std::string& key, bool& out) {
     if (const auto* v = find(key)) {
       if (v->kind != analysis::JsonValue::Kind::kBool) {
@@ -206,6 +214,8 @@ std::optional<ReproCase> load_repro(const std::string& path) {
   r.boolean("spatial_index", sc.spatial_index);
   r.boolean("legacy_event_queue", sc.legacy_event_queue);
   r.number("timeline_bucket_s", sc.timeline_bucket_s);
+  // Added mid-version-3: older repro files simply predate the flag.
+  r.optional_boolean("phase_profile", sc.phase_profile);
   r.boolean("profile", sc.profile);
   if (!r.error.empty()) {
     std::fprintf(stderr, "repro: %s: %s\n", path.c_str(), r.error.c_str());

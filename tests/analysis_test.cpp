@@ -7,10 +7,13 @@
 #include <sstream>
 #include <string>
 
+#include "analysis/json_doc.hpp"
 #include "analysis/jsonl.hpp"
+#include "analysis/timeline_report.hpp"
 #include "analysis/trace_report.hpp"
 #include "harness/experiment.hpp"
 #include "refer/system.hpp"
+#include "runner/results_writer.hpp"
 #include "sim/trace.hpp"
 
 namespace refer::analysis {
@@ -356,6 +359,212 @@ TEST(TraceReport, RouteGenerationFloodsKeepHopChainsConnected) {
   EXPECT_EQ(r.arc_violations, 0u);
   EXPECT_EQ(r.violations(), 0u);
   std::remove(path.c_str());
+}
+
+// ------------------------------------------------- nested JSON parser
+
+TEST(JsonDoc, ParsesNestedDocuments) {
+  const auto doc = parse_json_doc(
+      R"({"a":{"b":[1,2.5,-3e1]},"s":"hi","t":true,"z":null,"arr":[{"k":7}]})");
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_TRUE(doc->is_object());
+  const JsonNode* a = doc->find("a");
+  ASSERT_NE(a, nullptr);
+  const auto nums = a->member_numbers("b");
+  ASSERT_EQ(nums.size(), 3u);
+  EXPECT_DOUBLE_EQ(nums[0], 1.0);
+  EXPECT_DOUBLE_EQ(nums[1], 2.5);
+  EXPECT_DOUBLE_EQ(nums[2], -30.0);
+  ASSERT_NE(doc->find("s")->string_or_null(), nullptr);
+  EXPECT_EQ(*doc->find("s")->string_or_null(), "hi");
+  EXPECT_TRUE(doc->find("t")->bool_or(false));
+  EXPECT_EQ(doc->find("z")->kind, JsonNode::Kind::kNull);
+  const JsonNode* arr = doc->find("arr");
+  ASSERT_TRUE(arr->is_array());
+  ASSERT_EQ(arr->items.size(), 1u);
+  EXPECT_DOUBLE_EQ(arr->items[0].member_number("k", 0), 7.0);
+}
+
+TEST(JsonDoc, RejectsMalformed) {
+  EXPECT_FALSE(parse_json_doc("{").has_value());
+  EXPECT_FALSE(parse_json_doc(R"({"a":1} trailing)").has_value());
+  EXPECT_FALSE(parse_json_doc(R"({"a":})").has_value());
+  EXPECT_FALSE(parse_json_doc(R"([1,2,)").has_value());
+  EXPECT_FALSE(parse_json_doc("").has_value());
+  EXPECT_TRUE(parse_json_doc("  [1, 2]  ").has_value());
+}
+
+// ------------------------------------------------- timeline detectors
+
+TEST(TimelineDetect, WarmupCountsLeadingSubMedianBuckets) {
+  EXPECT_EQ(detect_warmup({10, 40, 100, 100, 100, 100, 100, 100}), 2u);
+  EXPECT_EQ(detect_warmup({100, 100, 100, 100}), 0u);
+  // At most half the series can be warmup.
+  EXPECT_EQ(detect_warmup({1, 1, 1, 1, 100, 100, 100, 100, 100, 100}), 4u);
+  // The cap: a series that is mostly "warmup" has no steady state.
+  EXPECT_EQ(detect_warmup({1, 1, 1, 1, 1, 90, 100, 110, 100, 100}), 5u);
+}
+
+TEST(TimelineDetect, PlantedKneeLocalizedWithinOneBucket) {
+  // Rising 50 kbps/bucket until bucket 6, then flat: the classic
+  // saturation curve.  Queue wait jumps across the knee.
+  const std::vector<double> y{300, 350, 400, 450, 500, 550,
+                              600, 610, 605, 615, 608, 612};
+  const std::vector<double> wait{10, 10, 11, 10, 12, 11,
+                                 40, 90, 160, 220, 260, 300};
+  const Knee knee = detect_knee(y, wait);
+  ASSERT_TRUE(knee.found);
+  EXPECT_NEAR(static_cast<double>(knee.bucket), 6.0, 1.0);
+  EXPECT_GT(knee.slope_before, 25.0);
+  EXPECT_LT(knee.slope_after, 0.25 * knee.slope_before);
+  EXPECT_TRUE(knee.queue_wait_grows);
+}
+
+TEST(TimelineDetect, FlatAndNoisySeriesHaveNoKnee) {
+  EXPECT_FALSE(
+      detect_knee({500, 501, 499, 502, 500, 498, 501, 500}, {}).found);
+  // Monotone rise with no plateau: no knee either.
+  EXPECT_FALSE(
+      detect_knee({100, 200, 300, 400, 500, 600, 700, 800}, {}).found);
+  // Too short to split.
+  EXPECT_FALSE(detect_knee({1, 2, 3}, {}).found);
+}
+
+TEST(TimelineDetect, DipsSkipMissingDataAndFindRuns) {
+  // -1 marks buckets with no samples: they join neither dip nor median.
+  const std::vector<double> y{1.0, 1.0, -1.0, 0.2, 0.1, 0.3, 1.0, 1.0};
+  const auto dips = detect_dips(y, 0.7);
+  ASSERT_EQ(dips.size(), 1u);
+  EXPECT_EQ(dips[0].from, 3u);
+  EXPECT_EQ(dips[0].to, 5u);
+  EXPECT_EQ(dips[0].deepest, 4u);
+  EXPECT_NEAR(dips[0].depth_frac, 0.1, 1e-9);
+  EXPECT_TRUE(detect_dips({1, 1, 1, 1}, 0.7).empty());
+}
+
+// ------------------------------------------------- document loading
+
+TEST(TimelineReport, LoadsLegacyV3Documents) {
+  const std::string v3 = R"({
+    "schema_version": 3,
+    "benchmark": "fig04",
+    "scenario": {"timeline_bucket_s": 20},
+    "jobs_run": [
+      {"system": "REFER", "seed": 5, "x": 1, "rep": 0,
+       "metrics": {"qos_timeline_kbps": [1000, 1000, 986, 1014]}},
+      {"system": "DaTree", "seed": 5, "x": 1, "rep": 0,
+       "metrics": {"delivery_ratio": 0.5}}
+    ]
+  })";
+  const auto doc = load_timeline_doc(v3);
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->schema_version, 3);
+  EXPECT_EQ(doc->benchmark, "fig04");
+  // The second job carries no timeline and is skipped.
+  ASSERT_EQ(doc->jobs.size(), 1u);
+  const TimelineSeries& s = doc->jobs[0];
+  EXPECT_FALSE(s.v4);
+  EXPECT_EQ(s.system, "REFER");
+  EXPECT_EQ(s.seed, "5");
+  EXPECT_DOUBLE_EQ(s.bucket_s, 20.0);  // backfilled from the scenario
+  ASSERT_EQ(s.qos_kbps.size(), 4u);
+  EXPECT_DOUBLE_EQ(s.qos_kbps[2], 986.0);
+}
+
+TEST(TimelineReport, RejectsPreTimelineSchemas) {
+  EXPECT_FALSE(load_timeline_doc(R"({"schema_version": 2})").has_value());
+  EXPECT_FALSE(load_timeline_doc("not json").has_value());
+  // v3 with no jobs at all is a valid, empty document.
+  const auto empty = load_timeline_doc(R"({"schema_version": 3})");
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_TRUE(empty->jobs.empty());
+}
+
+TEST(TimelineReport, StrictExitCodeFlipsOnAnomalies) {
+  const std::string doc_text = R"({
+    "schema_version": 3,
+    "scenario": {"timeline_bucket_s": 5},
+    "jobs_run": [
+      {"system": "REFER", "seed": 1, "x": 0, "rep": 0,
+       "metrics": {"qos_timeline_kbps":
+           [500, 500, 500, 100, 90, 500, 500, 500]}}
+    ]
+  })";
+  const auto doc = load_timeline_doc(doc_text);
+  ASSERT_TRUE(doc.has_value());
+  ReportOptions lax;
+  const TimelineReport report = analyze_timelines(*doc, lax);
+  ASSERT_EQ(report.findings.size(), 1u);
+  ASSERT_FALSE(report.findings[0].qos_dips.empty());
+  EXPECT_GE(report.anomaly_count, 1u);
+  std::FILE* sink = std::tmpfile();
+  ASSERT_NE(sink, nullptr);
+  EXPECT_EQ(print_timeline_report(sink, *doc, report, lax), 0);
+  ReportOptions strict = lax;
+  strict.strict = true;
+  EXPECT_EQ(print_timeline_report(sink, *doc, report, strict), 1);
+  std::fclose(sink);
+}
+
+// ------------------------------------------------- end-to-end dip run
+
+TEST(TimelineReport, LocalizesScriptedActuatorFaultDip) {
+  // The fig_app scripted break: actuator 0 is down for t0+30 .. t0+42
+  // (relative to the workload start).  With warmup 0 the workload start
+  // IS bucket 0's left edge, so the fault begins in bucket 30/5 = 6.
+  harness::Scenario sc;
+  sc.warmup_s = 0;
+  sc.measure_s = 60;
+  sc.timeline_bucket_s = 5;
+  sc.app_enabled = true;
+  sc.app_event_period_s = 1;
+  sc.app_fault_schedule = "0@30+12";
+  sc.seed = 7;
+  const harness::RunMetrics m =
+      harness::run_once(harness::SystemKind::kRefer, sc);
+  ASSERT_TRUE(m.build_ok);
+  ASSERT_GT(m.app_loops_started, 50u);
+
+  // Round-trip through the schema-v4 writer: this is the exact document
+  // the timeline_report CLI reads.
+  runner::ResultsWriter writer;
+  writer.set_tool("analysis_test");
+  writer.set_benchmark("fault_dip");
+  writer.set_scenario(sc);
+  harness::JobRecord rec;
+  rec.system = harness::SystemKind::kRefer;
+  rec.seed = sc.seed;
+  rec.metrics = m;
+  writer.add_records({rec});
+  const auto doc = load_timeline_doc(writer.to_json());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->schema_version, 4);
+  ASSERT_EQ(doc->jobs.size(), 1u);
+  EXPECT_TRUE(doc->jobs[0].v4);
+
+  // One broken actuator out of five fails only the loops nearest to it
+  // (the rest fail over), so judge the completion ratio against a 0.9
+  // threshold rather than the default deep-outage 0.7.
+  ReportOptions opts;
+  opts.dip_frac = 0.9;
+  const TimelineReport report = analyze_timelines(*doc, opts);
+  ASSERT_EQ(report.findings.size(), 1u);
+  const SeriesFindings& f = report.findings[0];
+  ASSERT_FALSE(f.app_dips.empty()) << "the fault window must dip";
+  const std::size_t fault_start_bucket =
+      static_cast<std::size_t>(30.0 / sc.timeline_bucket_s);
+  const std::size_t fault_end_bucket =
+      static_cast<std::size_t>((30.0 + 12.0) / sc.timeline_bucket_s);
+  const Dip& dip = f.app_dips.front();
+  // Localized to within one bucket of the scripted window on both ends
+  // (the supervision tier fails the survivors over before the scripted
+  // repair, so recovery may land one bucket early).
+  EXPECT_NEAR(static_cast<double>(dip.from),
+              static_cast<double>(fault_start_bucket), 1.0);
+  EXPECT_NEAR(static_cast<double>(dip.to),
+              static_cast<double>(fault_end_bucket), 1.0);
+  EXPECT_LT(dip.depth_frac, 0.9);
+  EXPECT_FALSE(f.anomalies.empty());
 }
 
 }  // namespace

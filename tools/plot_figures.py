@@ -1,14 +1,20 @@
 #!/usr/bin/env python3
-"""Render the benchmark CSVs (bench --csv PREFIX) as standalone SVG line
-charts -- no third-party dependencies, just the Python standard library.
+"""Render the benchmark CSVs (bench --csv PREFIX) and the schema-v4
+flight-recorder timeseries (bench --timeline S --json PATH) as standalone
+SVG line charts -- no third-party dependencies, just the Python standard
+library.
 
 Usage:
     ./build/bench/referbench fig04 --csv out/fig
     tools/plot_figures.py out/fig_fig04.csv          # -> out/fig_fig04.svg
     tools/plot_figures.py out/*.csv
+
+    ./build/bench/referbench fig_app --timeline 5 --json out/app.json
+    tools/plot_figures.py out/app.json   # -> out/app_timeline_<metric>.svg
 """
 
 import csv
+import json
 import math
 import pathlib
 import sys
@@ -125,6 +131,114 @@ def plot(path: pathlib.Path) -> pathlib.Path:
     return dest
 
 
+# Per-bucket series plotted from a v4 results document, with y-axis
+# labels.  qos_kbps also exists on v3 documents via the scenario bucket.
+TIMESERIES_METRICS = [
+    ("qos_kbps", "QoS throughput (kbit/s)"),
+    ("delivery_ratio", "delivery ratio"),
+    ("queue_wait_mean_us", "mean MAC queue wait (us)"),
+    ("channel_busy_fraction", "channel busy fraction"),
+    ("energy_rate_w", "energy drain rate (W)"),
+]
+MAX_TIMELINE_SERIES = 8
+
+
+def render_lines(dest: pathlib.Path, x_label, y_label, series):
+    """Plain multi-line chart: series = {name: (xs, ys)}."""
+    all_y = [y for xs, ys in series.values() for y in ys]
+    all_x = [x for xs, ys in series.values() for x in xs]
+    y_lo, y_hi = 0.0, (max(all_y) * 1.05 if all_y and max(all_y) > 0 else 1.0)
+    x_lo, x_hi = min(all_x), max(all_x)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1
+
+    def sx(x):
+        return MARGIN_L + (x - x_lo) / (x_hi - x_lo) * (
+            WIDTH - MARGIN_L - MARGIN_R)
+
+    def sy(y):
+        return HEIGHT - MARGIN_B - (y - y_lo) / (y_hi - y_lo) * (
+            HEIGHT - MARGIN_T - MARGIN_B)
+
+    out = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" '
+        f'height="{HEIGHT}" font-family="sans-serif" font-size="12">',
+        f'<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>',
+    ]
+    for t in nice_ticks(y_lo, y_hi):
+        y = sy(t)
+        out.append(f'<line x1="{MARGIN_L}" y1="{y:.1f}" '
+                   f'x2="{WIDTH-MARGIN_R}" y2="{y:.1f}" stroke="#ddd"/>')
+        out.append(f'<text x="{MARGIN_L-6}" y="{y+4:.1f}" '
+                   f'text-anchor="end">{fmt(t)}</text>')
+    for t in nice_ticks(x_lo, x_hi):
+        if t < x_lo - 1e-9 or t > x_hi + 1e-9:
+            continue
+        out.append(f'<text x="{sx(t):.1f}" y="{HEIGHT-MARGIN_B+18}" '
+                   f'text-anchor="middle">{fmt(t)}</text>')
+    out.append(f'<line x1="{MARGIN_L}" y1="{sy(y_lo):.1f}" '
+               f'x2="{WIDTH-MARGIN_R}" y2="{sy(y_lo):.1f}" stroke="#333"/>')
+    out.append(f'<line x1="{MARGIN_L}" y1="{MARGIN_T}" '
+               f'x2="{MARGIN_L}" y2="{sy(y_lo):.1f}" stroke="#333"/>')
+    out.append(f'<text x="{(MARGIN_L+WIDTH-MARGIN_R)/2}" '
+               f'y="{HEIGHT-10}" text-anchor="middle">{x_label}</text>')
+    out.append(f'<text x="16" y="{MARGIN_T-10}">{y_label}</text>')
+
+    for i, (name, (xs, ys)) in enumerate(series.items()):
+        color = COLORS[i % len(COLORS)]
+        pts = " ".join(f"{sx(x):.1f},{sy(y):.1f}" for x, y in zip(xs, ys))
+        out.append(f'<polyline points="{pts}" fill="none" '
+                   f'stroke="{color}" stroke-width="2"/>')
+        ly = MARGIN_T + 16 + i * 18
+        lx = WIDTH - MARGIN_R + 12
+        out.append(f'<line x1="{lx}" y1="{ly-4}" x2="{lx+22}" y2="{ly-4}" '
+                   f'stroke="{color}" stroke-width="2"/>')
+        out.append(f'<text x="{lx+28}" y="{ly}">{name}</text>')
+
+    out.append("</svg>")
+    dest.write_text("\n".join(out))
+    return dest
+
+
+def plot_timeseries(path: pathlib.Path):
+    """One SVG per TIMESERIES_METRICS entry from a results JSON (v4
+    `timeseries` section; v3 qos_timeline_kbps plots throughput only)."""
+    doc = json.loads(path.read_text())
+    jobs = doc.get("jobs_run", [])
+    scenario_bucket = doc.get("scenario", {}).get("timeline_bucket_s", 0)
+    outs, skipped = [], 0
+    for key, y_label in TIMESERIES_METRICS:
+        series = {}
+        for job in jobs:
+            if job.get("rep", 0) != 0:
+                continue  # one rep per (system, x): reps are re-seeds
+            metrics = job.get("metrics", {})
+            ts = metrics.get("timeseries")
+            if ts is not None and key in ts:
+                ys, bucket, t0 = ts[key], ts["bucket_s"], ts["start_s"]
+            elif key == "qos_kbps" and metrics.get("qos_timeline_kbps"):
+                ys, bucket, t0 = (metrics["qos_timeline_kbps"],
+                                  scenario_bucket, 0.0)  # v3 back-compat
+            else:
+                continue
+            if not ys or not bucket:
+                continue
+            if len(series) >= MAX_TIMELINE_SERIES:
+                skipped += 1
+                continue
+            xs = [t0 + (i + 1) * bucket for i in range(len(ys))]
+            series[f'{job.get("system", "?")} x={job.get("x", 0):g}'] = (
+                xs, ys)
+        if series:
+            outs.append(render_lines(
+                path.with_name(f"{path.stem}_timeline_{key}.svg"),
+                "t (s)", y_label, series))
+    if skipped:
+        print(f"  (legend capped at {MAX_TIMELINE_SERIES} series per "
+              f"chart; {skipped} job/metric lines dropped)")
+    return outs
+
+
 def main(argv):
     if len(argv) < 2:
         print(__doc__)
@@ -133,6 +247,14 @@ def main(argv):
         path = pathlib.Path(arg)
         if not path.exists():
             print(f"skip (missing): {path}")
+            continue
+        if path.suffix == ".json":
+            dests = plot_timeseries(path)
+            if dests:
+                for dest in dests:
+                    print(f"{path} -> {dest}")
+            else:
+                print(f"skip (no timeseries in document): {path}")
             continue
         print(f"{path} -> {plot(path)}")
     return 0

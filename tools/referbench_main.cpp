@@ -39,6 +39,9 @@ void print_usage(std::FILE* out) {
                "  --json PATH     write a structured results document\n"
                "  --trace DIR     write per-job JSONL traces to DIR/<bench>/\n"
                "  --profile       kernel profiler (per-event-tag wall-time)\n"
+               "  --timeline S    flight-recorder timeseries, bucket width S\n"
+               "                  seconds (analyze with timeline_report)\n"
+               "  --phase-profile wall-clock phase attribution per bucket\n"
                "  --no-spatial-index  O(n) world scans instead of the grid\n"
                "  --legacy-event-queue  binary-heap kernel instead of the\n"
                "                  calendar queue\n"

@@ -1,0 +1,90 @@
+// timeline_report: offline analyzer for referbench results documents.
+//
+//   timeline_report [--strict] [--dip-frac F] <results.json>...
+//
+// Reads the flight-recorder timeseries out of each schema v3/v4 results
+// JSON (runner/results_writer) and reports, per job: the warmup ramp,
+// saturation knees (throughput plateaus while the MAC queue wait keeps
+// growing), and recovery dips (throughput or app-loop completion
+// falling below a fraction of the steady-state median -- the signature
+// of a fault window, e.g. the scripted "0@30+12" actuator break).
+//
+// Exit status: 0 clean, 1 when --strict and any anomaly was found,
+// 2 on usage / unreadable or malformed input.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/timeline_report.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: timeline_report [--strict] [--dip-frac F] <results.json>...\n"
+      "  --strict      exit 1 when any anomaly (knee or dip) is found\n"
+      "  --dip-frac F  dip threshold as a fraction of the steady median "
+      "(default: 0.7)\n");
+  return 2;
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return false;
+  char buf[65536];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  refer::analysis::ReportOptions opts;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--strict") {
+      opts.strict = true;
+    } else if (arg == "--dip-frac" && i + 1 < argc) {
+      opts.dip_frac = std::atof(argv[++i]);
+      if (!(opts.dip_frac > 0 && opts.dip_frac < 1)) return usage();
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) return usage();
+
+  int exit_code = 0;
+  for (const std::string& path : files) {
+    std::string text;
+    if (!read_file(path, text)) {
+      std::fprintf(stderr, "timeline_report: cannot read %s\n", path.c_str());
+      return 2;
+    }
+    const auto doc = refer::analysis::load_timeline_doc(text);
+    if (!doc) {
+      std::fprintf(stderr,
+                   "timeline_report: %s is not a schema v3+ results "
+                   "document\n",
+                   path.c_str());
+      return 2;
+    }
+    if (files.size() > 1) std::printf("== %s ==\n", path.c_str());
+    const refer::analysis::TimelineReport report =
+        refer::analysis::analyze_timelines(*doc, opts);
+    exit_code = std::max(
+        exit_code,
+        refer::analysis::print_timeline_report(stdout, *doc, report, opts));
+  }
+  return exit_code;
+}
