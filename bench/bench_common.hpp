@@ -29,6 +29,9 @@
 //                   nondeterministic, so off by default)
 //   --no-spatial-index  disable the world's spatial grid index (O(n)
 //                   linear scans; results are bit-identical, only slower)
+//   --no-neighbor-cache  disable the neighbor-row cache riding the grid
+//                   (every reachable query re-walks the grid cells;
+//                   results are bit-identical, only slower)
 //   --legacy-event-queue  run the simulator kernel on the original binary
 //                   heap instead of the calendar queue (bit-identical,
 //                   only slower; the event-engine escape hatch)
@@ -122,6 +125,8 @@ inline BenchOptions parse_options(int argc, char** argv) {
       opt.base.phase_profile = true;
     } else if (arg == "--no-spatial-index") {
       opt.base.spatial_index = false;
+    } else if (arg == "--no-neighbor-cache") {
+      opt.base.neighbor_cache = false;
     } else if (arg == "--legacy-event-queue") {
       opt.base.legacy_event_queue = true;
     } else if (arg == "--quick") {

@@ -1,0 +1,63 @@
+// Saturation sweep (no paper counterpart -- seeds ROADMAP item 3, the
+// congestion regime of Faber & Streib's all-to-all Kautz routing): QoS
+// throughput, delay and delivery ratio vs. offered load, ramped past the
+// medium's saturation point.
+//
+// x is packets per second per source.  The default workload (5 sources x
+// 10 pps x 20 kbit) fills ~half the 2 Mbit/s medium with spatial reuse;
+// by 40-80 pps every source's local medium is saturated, CSMA deferrals
+// dominate, and each transmission's medium scan fires against a busy
+// neighbourhood -- exactly the regime the neighbor cache targets, which
+// is why this bench doubles as the cache's macro benchmark
+// (run it with and without --no-neighbor-cache and compare wall_s).
+//
+// Expected shape: carried QoS throughput rises linearly with offered
+// load, peaks near the saturation knee, then flattens or sags while
+// delay and loss climb; REFER's knee sits highest (shortest physical
+// paths => least airtime per delivered bit), DaTree saturates first --
+// its root links are the bottleneck the tree concentrates load onto.
+#include "registry.hpp"
+
+namespace refer::bench {
+namespace {
+
+int run_fig_sat(Context& ctx) {
+  print_header("Saturation", "QoS vs. offered load (pps per source)");
+
+  const std::vector<double> pps{5, 10, 20, 40, 80};
+  const auto points = run_sweep(
+      ctx, ctx.opt.base, pps,
+      [](harness::Scenario& sc, double load) {
+        sc.packets_per_second = load;
+      },
+      "packets/s per source");
+  emit_series(ctx, "QoS throughput vs. offered load", "pps per source",
+              "QoS-guaranteed throughput (kbps)", "fig_sat_tput", points,
+              [](const harness::AggregateMetrics& a) {
+                return a.qos_throughput_kbps;
+              });
+  emit_series(ctx, "Delay vs. offered load", "pps per source",
+              "avg delay of QoS-guaranteed data (ms)", "fig_sat_delay",
+              points, [](const harness::AggregateMetrics& a) {
+                return a.avg_delay_ms;
+              });
+  emit_series(ctx, "Delay p95 vs. offered load", "pps per source",
+              "delay p95 (ms)", "fig_sat_p95", points,
+              [](const harness::AggregateMetrics& a) {
+                return a.delay_p95_ms;
+              });
+  emit_series(ctx, "Delivery ratio vs. offered load", "pps per source",
+              "packets delivered / sent", "fig_sat_delivery", points,
+              [](const harness::AggregateMetrics& a) {
+                return a.delivery_ratio;
+              });
+  return 0;
+}
+
+}  // namespace
+
+REFER_REGISTER_BENCH("fig_sat",
+                     "Saturation: QoS vs. offered load past the knee",
+                     run_fig_sat);
+
+}  // namespace refer::bench

@@ -9,6 +9,13 @@
 //
 // BM_DisjointRoutes_{Uncached,Cached} replay a repeating working set of
 // (u, v) pairs, the traffic pattern real flows produce.
+//
+// BM_CsmaReserveTxSlot_* and BM_BroadcastReceivers_* drive the two
+// Channel paths that issue a geometric query per transmission (the CSMA
+// medium scan and broadcast receiver materialisation) through the real
+// event kernel, with the neighbor cache on and off.  Simulated time
+// advances with every send, so mobility re-bins and row rebuilds happen
+// at their natural rate -- the measured delta is the steady-state win.
 #include <benchmark/benchmark.h>
 
 #include <cmath>
@@ -109,6 +116,79 @@ void BM_ClosestActuator_Grid(benchmark::State& state) {
 }
 BENCHMARK(BM_ClosestActuator_Linear)->Arg(1000)->Arg(4000);
 BENCHMARK(BM_ClosestActuator_Grid)->Arg(1000)->Arg(4000);
+
+/// Fixture + shared medium: the channel's CSMA scan and receiver
+/// materialisation both funnel through World::visit_reachable, so the
+/// cache toggle is the only variable between the paired benchmarks.
+struct ChannelFixture : Fixture {
+  ChannelFixture(int n_sensors, bool neighbor_cache)
+      : Fixture(n_sensors, /*spatial_index=*/true),
+        channel(simulator, world, energy, Rng(5)) {
+    world.set_neighbor_cache_enabled(neighbor_cache);
+    energy.resize(world.size());
+  }
+
+  sim::EnergyTracker energy;
+  sim::Channel channel;
+};
+
+void bm_csma_unicast(benchmark::State& state, bool neighbor_cache) {
+  ChannelFixture fx(static_cast<int>(state.range(0)), neighbor_cache);
+  const auto n = static_cast<NodeId>(fx.world.size());
+  NodeId from = 0;
+  // A relay draining a 16-deep MAC queue -- the congested steady state
+  // past fig_sat's saturation knee, where transmissions leave the same
+  // node back to back and each one's CSMA medium scan repeats against an
+  // unchanged neighbourhood.  Each iteration enqueues one such drain and
+  // runs the kernel (deliveries, acks, timeouts) to completion; per-send
+  // cost is the reported time / 16.
+  for (auto _ : state) {
+    from = (from + 1) % n;
+    for (int k = 0; k < 16; ++k) {
+      fx.channel.unicast(from, (from + 7 + k) % n, 2500,
+                         sim::EnergyBucket::kData, nullptr);
+    }
+    fx.simulator.run_all();
+  }
+  benchmark::DoNotOptimize(fx.channel.stats().unicasts_sent);
+}
+
+void BM_CsmaReserveTxSlot_NoCache(benchmark::State& state) {
+  bm_csma_unicast(state, /*neighbor_cache=*/false);
+}
+void BM_CsmaReserveTxSlot_Cache(benchmark::State& state) {
+  bm_csma_unicast(state, /*neighbor_cache=*/true);
+}
+BENCHMARK(BM_CsmaReserveTxSlot_NoCache)->Arg(250)->Arg(1000)->Arg(4000);
+BENCHMARK(BM_CsmaReserveTxSlot_Cache)->Arg(250)->Arg(1000)->Arg(4000);
+
+void bm_broadcast_receivers(benchmark::State& state, bool neighbor_cache) {
+  ChannelFixture fx(static_cast<int>(state.range(0)), neighbor_cache);
+  const auto n = static_cast<NodeId>(fx.world.size());
+  NodeId from = 0;
+  std::uint64_t received = 0;
+  // One broadcast = one medium scan (tx slot) + one receiver
+  // materialisation -- the per-hop cost of flooding.
+  for (auto _ : state) {
+    from = (from + 1) % n;
+    fx.channel.broadcast(from, 100, sim::EnergyBucket::kMaintenance,
+                         [&](NodeId) { ++received; });
+    fx.simulator.run_all();
+  }
+  benchmark::DoNotOptimize(received);
+  state.counters["receivers_per_bcast"] =
+      benchmark::Counter(static_cast<double>(received),
+                         benchmark::Counter::kAvgIterations);
+}
+
+void BM_BroadcastReceivers_NoCache(benchmark::State& state) {
+  bm_broadcast_receivers(state, /*neighbor_cache=*/false);
+}
+void BM_BroadcastReceivers_Cache(benchmark::State& state) {
+  bm_broadcast_receivers(state, /*neighbor_cache=*/true);
+}
+BENCHMARK(BM_BroadcastReceivers_NoCache)->Arg(250)->Arg(1000)->Arg(4000);
+BENCHMARK(BM_BroadcastReceivers_Cache)->Arg(250)->Arg(1000)->Arg(4000);
 
 /// A working set of 64 (u, v) pairs replayed round-robin: what a handful
 /// of concurrent flows look like to a relay's route derivation.

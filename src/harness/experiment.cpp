@@ -118,6 +118,7 @@ struct Deployment {
       sim.set_engine(sim::QueueEngine::kLegacyHeap);
     }
     world.set_spatial_index_enabled(sc.spatial_index);
+    world.set_neighbor_cache_enabled(sc.neighbor_cache);
     place_actuators();
     place_sensors();
     energy.resize(world.size());
@@ -366,14 +367,19 @@ class Driver {
     st.counter("channel.unicasts_delivered").set(cs.unicasts_delivered);
     st.counter("channel.unicasts_failed").set(cs.unicasts_failed);
     st.counter("channel.broadcasts_sent").set(cs.broadcasts_sent);
-    // Spatial-index health (zeros when the index is disabled).  These are
-    // the only observability entries that may differ between index-on and
-    // index-off runs of the same scenario.
+    // Spatial-index and neighbor-cache health (zeros when disabled).
+    // world.grid.* and world.neighbor_cache.* are the only observability
+    // entries that may differ between runs of the same scenario with
+    // different index/cache toggles -- everything else is bit-identical.
     const sim::World::IndexStats& gs = dep_->world.index_stats();
     st.counter("world.grid.queries").set(gs.queries);
     st.counter("world.grid.candidates").set(gs.candidates);
     st.counter("world.grid.rebins").set(gs.rebins);
     st.counter("world.grid.rebuilds").set(gs.rebuilds);
+    const sim::NeighborCache::Stats& ns = dep_->world.neighbor_cache_stats();
+    st.counter("world.neighbor_cache.hits").set(ns.hits);
+    st.counter("world.neighbor_cache.rebuilds").set(ns.rebuilds);
+    st.counter("world.neighbor_cache.invalidations").set(ns.invalidations);
     for (const auto& [node, airtime] : dep_->channel.busiest_nodes(5)) {
       st.counter("node." + std::to_string(node) + ".airtime_us")
           .set(static_cast<std::uint64_t>(airtime * 1e6));

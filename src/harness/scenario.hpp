@@ -112,6 +112,14 @@ struct Scenario {
   /// the O(n) linear scans for perf comparison.
   bool spatial_index = true;
 
+  /// Neighbor-row cache riding the spatial index (default on; moot when
+  /// spatial_index is off): repeat reachable queries -- the CSMA medium
+  /// scan, broadcast receiver materialisation, routing next-hop scans --
+  /// reuse the grid's sorted candidate rows until a mobility re-bin
+  /// expires them.  Results are bit-identical either way (proven by
+  /// test); false (--no-neighbor-cache) is the perf escape hatch.
+  bool neighbor_cache = true;
+
   /// Event-queue ablation: false (default) runs the simulator on the
   /// calendar queue, true restores the original binary heap
   /// (--legacy-event-queue).  Results are bit-identical either way

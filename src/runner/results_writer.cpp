@@ -250,6 +250,7 @@ void write_scenario(JsonWriter& w, const harness::Scenario& sc) {
   w.kv("seed", sc.seed);
   w.kv("csma", sc.csma);
   w.kv("spatial_index", sc.spatial_index);
+  w.kv("neighbor_cache", sc.neighbor_cache);
   w.kv("legacy_event_queue", sc.legacy_event_queue);
   w.kv("timeline_bucket_s", sc.timeline_bucket_s);
   w.kv("phase_profile", sc.phase_profile);

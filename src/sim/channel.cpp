@@ -62,8 +62,14 @@ void Channel::unicast(NodeId from, NodeId to, std::size_t bytes,
                    bucket});
   }
   if (!world_->alive(from)) {
-    // A dead node cannot transmit; its pending sends vanish.
+    // A dead node cannot transmit; its pending sends vanish.  The trace
+    // still records the failure -- trace_report's hop chains would
+    // otherwise see a queued send with no outcome.
     ++stats_.unicasts_failed;
+    if (tracer_ && tracer_->enabled()) {
+      tracer_->emit({sim_->now(), TraceEvent::kUnicastFailed, from, to, 0,
+                     bucket});
+    }
     if (done) sim_->schedule_in(config_.ack_timeout_s, [done] { done(false); });
     return;
   }
@@ -147,9 +153,22 @@ std::vector<std::pair<NodeId, double>> Channel::busiest_nodes(
   for (std::size_t i = 0; i < airtime_.size(); ++i) {
     if (airtime_[i] > 0) all.emplace_back(static_cast<NodeId>(i), airtime_[i]);
   }
-  std::sort(all.begin(), all.end(),
-            [](const auto& a, const auto& b) { return a.second > b.second; });
-  if (all.size() > top) all.resize(top);
+  // Only the top slice is reported (this runs per telemetry tick), so a
+  // full sort of every active node is wasted work.  Ties break toward
+  // the lower id -- a total order, so the result never depends on the
+  // selection algorithm.
+  const auto hotter = [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  };
+  if (all.size() > top) {
+    std::partial_sort(all.begin(),
+                      all.begin() + static_cast<std::ptrdiff_t>(top),
+                      all.end(), hotter);
+    all.resize(top);
+  } else {
+    std::sort(all.begin(), all.end(), hotter);
+  }
   return all;
 }
 

@@ -1,0 +1,184 @@
+// Epoch-validated neighbor-row cache over the spatial grid.
+//
+// Every CSMA medium scan (Channel::reserve_tx_slot), broadcast receiver
+// materialisation and routing reachable query funnels through
+// World::visit_reachable, which -- with only the grid -- walks the cells
+// intersecting the query radius, gathers candidates and sorts them into
+// ascending NodeId order *per query*.  Under load the same node queries
+// the same radius thousands of times between mobility re-bins, so the
+// cell walk + sort is pure repetition.  This cache remembers the sorted
+// candidate row per (node, range class) and turns repeat queries into a
+// linear walk of a flat array.
+//
+// Layout: one Table per distinct query radius ("range class" -- sensor
+// range, actuator range, and any range_override such as flooding's
+// query_tx_range).  Each table is CSR-shaped: per-node (begin, len)
+// offsets into one shared append-only pool of NodeIds, rows stored in
+// ascending id order.  Rows for different nodes share the pool, so a
+// table's steady-state footprint is O(sum of row lengths) and rebuilding
+// a row after an invalidation reuses the pool's capacity -- no
+// steady-state allocations (pinned by a counting-operator-new test).
+//
+// Correctness rides the SpatialIndex validity deadlines.  The index
+// guarantees every binned position is at most `slack` metres stale at
+// revalidate() times; a re-bin is exactly the moment that guarantee was
+// about to expire for some node.  The cache therefore keys validity on a
+// single global epoch: any re-bin (or full rebuild) bumps it, and a row
+// stamped with an older epoch is a miss.  Within one epoch the querying
+// node and any true neighbour have each drifted at most `slack` from the
+// positions the row was built against, so a row built from
+// collect(p, r + 2*slack) -- collect() itself adds a third slack for
+// binned-position staleness -- remains a *superset* of the true in-range
+// set for every query it serves.  The caller's exact per-candidate check
+// (alive + within_range on live positions, ascending id order) then
+// yields results bit-identical to the uncached scan.  Liveness flips
+// need no invalidation at all: dead nodes stay binned and are filtered
+// by the exact pass, exactly as on the uncached path.
+//
+// The superset would make cached walks *slower* than uncached queries if
+// every candidate still needed its live position evaluated: the row is
+// ~(1 + 2*slack/r)^2 wider in area than an uncached candidate set, and
+// the per-candidate waypoint interpolation dominates walk cost.  So each
+// row also stores every candidate's binned anchor.  Within the epoch a
+// candidate's live position stays within `slack` of its anchor, giving
+// the walk a two-sided shortcut on the cheap anchor distance d:
+//   d > r + slack  =>  certainly out of range, skip;
+//   d < r - slack  =>  certainly in range, accept;
+// only the thin annulus in between needs the exact live-position check.
+// Both bands carry a small epsilon so floating-point edge cases fall
+// through to the exact check rather than trusting the bound to the ulp.
+//
+// Row storage is read back through (pool, index) pairs rather than raw
+// pointers: a query handler may re-enter visit_reachable (flooding does),
+// and the nested miss may append to the same pool, relocating its heap
+// buffer.  Indices survive that; pointers would dangle.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/spatial_index.hpp"  // NodeId
+
+namespace refer::sim {
+
+class NeighborCache {
+ public:
+  /// Distinct query radii cached simultaneously.  Workloads use two or
+  /// three (sensor range, actuator range, flooding's query_tx_range);
+  /// radii beyond the cap are served uncached rather than evicting.
+  static constexpr std::size_t kMaxRangeClasses = 8;
+
+  /// A view of one cached row.  `pool` is the owning table's id pool (or
+  /// the caller's own buffer when the range class overflowed the cap);
+  /// elements are pool[begin] .. pool[begin + len - 1], ascending ids.
+  /// `anchors` runs parallel to `pool` with each candidate's binned
+  /// position, or is null on range-class overflow (the caller then skips
+  /// the anchor prefilter and exact-checks every candidate).
+  struct Row {
+    const std::vector<NodeId>* pool = nullptr;
+    const std::vector<Point>* anchors = nullptr;
+    std::uint32_t begin = 0;
+    std::uint32_t len = 0;
+  };
+
+  /// Counters exported as world.neighbor_cache.* observability.
+  struct Stats {
+    std::uint64_t hits = 0;           ///< queries served from a cached row
+    std::uint64_t rebuilds = 0;       ///< rows (re)built from the grid
+    std::uint64_t invalidations = 0;  ///< epoch bumps (re-bins + rebuilds)
+  };
+
+  /// New node universe (full index rebuild / node added).  Drops every
+  /// table; range classes are rediscovered on first use.
+  void reset(std::size_t n);
+
+  /// Kills every cached row (O(1): bumps the epoch; rows die lazily on
+  /// lookup, pools are recycled on the first store of the new epoch).
+  /// Called per spatial-index re-bin -- the moment a binned position's
+  /// slack guarantee expired.
+  void invalidate() noexcept {
+    ++epoch_;
+    ++stats_.invalidations;
+  }
+
+  /// True when `id` has a current-epoch row for range class `range`;
+  /// fills `out` with a view of it.
+  [[nodiscard]] bool lookup(NodeId id, double range, Row& out) noexcept {
+    for (Table& t : tables_) {
+      if (t.range == range) {
+        if (t.stamp[static_cast<std::size_t>(id)] != epoch_) return false;
+        out.pool = &t.pool;
+        out.anchors = &t.apool;
+        out.begin = t.begin[static_cast<std::size_t>(id)];
+        out.len = t.len[static_cast<std::size_t>(id)];
+        ++stats_.hits;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Records `ids` (ascending, unique) as `id`'s row for range class
+  /// `range` and returns a view of the stored copy.  `anchor_of(nid)`
+  /// must return the candidate's binned anchor position (the prefilter
+  /// contract above); World passes SpatialIndex::anchor.  When the
+  /// range-class cap is hit the row is not stored and the view aliases
+  /// `ids` itself with null `anchors` -- the caller's buffer must outlive
+  /// the returned Row either way.
+  template <typename AnchorFn>
+  Row store(NodeId id, double range, const std::vector<NodeId>& ids,
+            AnchorFn&& anchor_of) {
+    ++stats_.rebuilds;
+    Row row;
+    row.len = static_cast<std::uint32_t>(ids.size());
+    Table* t = table_for(range);
+    if (!t) {
+      // Range-class overflow: serve this query from the caller's buffer.
+      row.pool = &ids;
+      return row;
+    }
+    if (t->pool_epoch != epoch_) {
+      // First row of a new epoch: every old row is dead, recycle the
+      // pools (capacity is kept, so steady-state rebuilds allocate
+      // nothing).
+      t->pool.clear();
+      t->apool.clear();
+      t->pool_epoch = epoch_;
+    }
+    row.begin = static_cast<std::uint32_t>(t->pool.size());
+    t->pool.insert(t->pool.end(), ids.begin(), ids.end());
+    for (const NodeId nid : ids) t->apool.push_back(anchor_of(nid));
+    const auto slot = static_cast<std::size_t>(id);
+    t->begin[slot] = row.begin;
+    t->len[slot] = row.len;
+    t->stamp[slot] = epoch_;
+    row.pool = &t->pool;
+    row.anchors = &t->apool;
+    return row;
+  }
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Table {
+    double range = 0;
+    std::uint64_t pool_epoch = 0;      ///< epoch the pool was last recycled for
+    std::vector<std::uint32_t> begin;  ///< per-node row offset into pool
+    std::vector<std::uint32_t> len;    ///< per-node row length
+    std::vector<std::uint64_t> stamp;  ///< per-node build epoch (0 = never)
+    std::vector<NodeId> pool;          ///< shared row storage, append-only
+    std::vector<Point> apool;          ///< candidate anchors, parallel to pool
+  };
+
+  Table* table_for(double range);
+
+  // reserve()d to kMaxRangeClasses in reset(): Row::pool points into a
+  // Table, so tables_ must never relocate while rows are live.
+  std::vector<Table> tables_;
+  std::uint64_t epoch_ = 1;  ///< starts above the stamp default of 0
+  std::size_t n_ = 0;
+  Stats stats_;
+};
+
+}  // namespace refer::sim

@@ -111,6 +111,18 @@ class SpatialIndex {
     return nx_ > ny_ ? nx_ : ny_;
   }
 
+  /// The binned (anchor) position of `id` -- where update() last placed
+  /// it.  Until the node's next re-bin its true position stays within
+  /// slack() of this anchor (the deadline contract above), which is what
+  /// lets the neighbor cache prefilter candidates without evaluating
+  /// their live positions.  Only valid for ids currently binned.
+  [[nodiscard]] Point anchor(NodeId id) const noexcept {
+    const Slot& s = slots_[static_cast<std::size_t>(id)];
+    return cells_[static_cast<std::size_t>(s.cell)]
+        .entries[static_cast<std::size_t>(s.pos)]
+        .p;
+  }
+
   [[nodiscard]] double cell_size() const noexcept { return cell_; }
   [[nodiscard]] double slack() const noexcept { return slack_; }
   [[nodiscard]] const Rect& bounds() const noexcept { return bounds_; }

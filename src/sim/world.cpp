@@ -116,12 +116,18 @@ bool World::ensure_index() {
   const Time now = sim_->now();
   if (index_dirty_) rebuild_index(now);
   if (!index_usable_) return false;
-  index_.revalidate(now, [this, now](NodeId id) { bin_node(id, now); });
+  // A re-bin is exactly the moment some binned position's slack bound
+  // was about to break, so it also expires every cached neighbor row.
+  index_.revalidate(now, [this, now](NodeId id) {
+    bin_node(id, now);
+    ncache_.invalidate();
+  });
   return true;
 }
 
 void World::rebuild_index(Time now) {
   index_dirty_ = false;
+  ncache_.reset(nodes_.size());
   double max_range = 0;
   double max_speed = 0;
   for (const Node& n : nodes_) {

@@ -7,6 +7,14 @@
 // NodeId order and re-checked against exact live positions).
 // set_spatial_index_enabled(false) restores the O(n) scan -- the
 // property tests cross-check both paths.
+//
+// On top of the grid sits a NeighborCache (sim/neighbor_cache.hpp): the
+// sorted candidate row of each (node, query radius) pair is remembered
+// and reused until any grid re-bin bumps a global epoch, turning repeat
+// queries -- the CSMA medium scan fires one per transmission -- into a
+// flat array walk.  The exact per-candidate check still runs on live
+// positions, so cached results stay bit-identical too;
+// set_neighbor_cache_enabled(false) is the escape hatch.
 #pragma once
 
 #include <bit>
@@ -21,6 +29,7 @@
 #include "common/geometry.hpp"
 #include "common/rng.hpp"
 #include "sim/mobility.hpp"
+#include "sim/neighbor_cache.hpp"
 #include "sim/simulator.hpp"
 #include "sim/spatial_index.hpp"
 
@@ -135,13 +144,38 @@ class World {
     const Point p = position(from);
     const double r = range_override > 0 ? range_override : range(from);
     if (index_enabled_ && ensure_index()) {
+      const Time now = sim_->now();
+      if (cache_enabled_) {
+        NeighborCache::Row row;
+        if (ncache_.lookup(from, r, row)) {
+          walk_row(row, from, p, r, now, fn);
+          return;
+        }
+        ScratchPool::Lease lease = scratch_.acquire();
+        std::vector<NodeId>& buf = *lease;
+        // A row serves queries until the next re-bin.  Between its build
+        // and its last reuse the querying node and any true neighbour
+        // have each drifted at most `slack` from their binned anchors
+        // (the re-bin IS the moment that bound would break), so the
+        // build widens the radius by two slack budgets on top of
+        // collect()'s own binned-position expansion: the row stays a
+        // superset of every in-range set it serves, and the exact check
+        // in walk_row keeps results bit-identical to the uncached scan.
+        index_.collect(p, r + 2 * index_.slack(), buf);
+        sort_ids(buf);
+        index_stats_.queries += 1;
+        index_stats_.candidates += buf.size();
+        walk_row(ncache_.store(from, r, buf,
+                               [this](NodeId j) { return index_.anchor(j); }),
+                 from, p, r, now, fn);
+        return;
+      }
       ScratchPool::Lease lease = scratch_.acquire();
       std::vector<NodeId>& buf = *lease;
       index_.collect(p, r, buf);
       sort_ids(buf);
       index_stats_.queries += 1;
       index_stats_.candidates += buf.size();
-      const Time now = sim_->now();
       for (NodeId i : buf) {
         if (i == from) continue;
         Node& n = nodes_[static_cast<std::size_t>(i)];
@@ -176,6 +210,23 @@ class World {
   void set_spatial_index_enabled(bool enabled);
   [[nodiscard]] bool spatial_index_enabled() const noexcept {
     return index_enabled_;
+  }
+
+  /// Toggles the neighbor-row cache riding the spatial index (on by
+  /// default; moot while the index is off).  Results are bit-identical
+  /// either way -- this is the perf escape hatch, like the index toggle.
+  void set_neighbor_cache_enabled(bool enabled) noexcept {
+    cache_enabled_ = enabled;
+  }
+  [[nodiscard]] bool neighbor_cache_enabled() const noexcept {
+    return cache_enabled_;
+  }
+
+  /// Cache health counters, exported as world.neighbor_cache.*
+  /// observability.
+  [[nodiscard]] const NeighborCache::Stats& neighbor_cache_stats()
+      const noexcept {
+    return ncache_.stats();
   }
 
   /// Leases a reusable NodeId buffer for callers that need to materialise
@@ -244,6 +295,52 @@ class World {
     Waypoint motion;
   };
 
+  /// Exact filter pass shared by the cached fast path: ascending-id
+  /// candidates settled by the anchor shortcut where the slack bound is
+  /// decisive and re-checked against live positions in the remaining
+  /// annulus, so survivors match the uncached scan bit for bit.
+  /// Candidates are read back through
+  /// (pool, index) rather than a raw pointer because `fn` may re-enter
+  /// visit_reachable (flood handlers do) and the nested miss may append
+  /// to the same pool, relocating its storage -- indices survive that.
+  template <typename Fn>
+  void walk_row(NeighborCache::Row row, NodeId from, Point p, double r,
+                Time now, Fn&& fn) {
+    if (row.anchors != nullptr) {
+      // Anchor shortcut: within the epoch every candidate's live
+      // position stays within slack of its stored anchor, so the cheap
+      // anchor distance settles all but a thin annulus of candidates
+      // without evaluating their waypoint positions.  The epsilon keeps
+      // floating-point edge cases on the exact-check path; it only
+      // narrows the shortcut bands, never changes results.
+      const double s = index_.slack() + 1e-6;
+      const double reject = (r + s) * (r + s);
+      const double accept = r > s ? (r - s) * (r - s) : -1.0;
+      for (std::uint32_t k = 0; k < row.len; ++k) {
+        const double d2 = distance_sq(p, (*row.anchors)[row.begin + k]);
+        if (d2 > reject) continue;  // out of range even after drift
+        const NodeId i = (*row.pool)[row.begin + k];
+        if (i == from) continue;
+        Node& n = nodes_[static_cast<std::size_t>(i)];
+        if (!n.alive) continue;
+        if (d2 < accept) {  // in range even after drift
+          fn(i);
+          continue;
+        }
+        if (within_range(p, n.motion.position_at(now), r)) fn(i);
+      }
+      return;
+    }
+    // Range-class overflow rows carry no anchors: exact-check everything.
+    for (std::uint32_t k = 0; k < row.len; ++k) {
+      const NodeId i = (*row.pool)[row.begin + k];
+      if (i == from) continue;
+      Node& n = nodes_[static_cast<std::size_t>(i)];
+      if (!n.alive) continue;
+      if (within_range(p, n.motion.position_at(now), r)) fn(i);
+    }
+  }
+
   NodeId add_node(Node node);
   /// Revalidates (or lazily rebuilds) the index for the current time;
   /// false when no index can exist (no nodes / zero ranges).
@@ -261,8 +358,10 @@ class World {
   bool index_enabled_ = true;
   bool index_dirty_ = true;
   bool index_usable_ = false;
+  bool cache_enabled_ = true;
   SpatialIndex index_;
   SpatialIndex actuator_index_;  ///< static, never revalidated
+  NeighborCache ncache_;
   ScratchPool scratch_;
   std::vector<std::uint64_t> mark_;  ///< sort_ids scratch bitmap
   IndexStats index_stats_;

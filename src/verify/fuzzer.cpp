@@ -92,6 +92,12 @@ harness::Scenario ScenarioFuzzer::generate(std::uint64_t seed) {
       sc.app_fault_schedule = app::format_fault_schedule(windows);
     }
   }
+
+  // Neighbor cache escape hatch, fuzzed like legacy_event_queue: mostly
+  // on (the default), off often enough that the bit-identity contract
+  // between the cached and uncached scan stays exercised.  Appended
+  // after every pre-existing draw so old seeds reproduce unchanged.
+  sc.neighbor_cache = rng.chance(0.9);
   return sc;
 }
 

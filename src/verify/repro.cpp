@@ -59,6 +59,7 @@ std::string to_repro_json(const ReproCase& repro) {
   w.kv("seed", std::to_string(sc.seed));
   w.kv("csma", sc.csma);
   w.kv("spatial_index", sc.spatial_index);
+  w.kv("neighbor_cache", sc.neighbor_cache);
   w.kv("legacy_event_queue", sc.legacy_event_queue);
   w.kv("timeline_bucket_s", sc.timeline_bucket_s);
   w.kv("phase_profile", sc.phase_profile);
@@ -212,6 +213,8 @@ std::optional<ReproCase> load_repro(const std::string& path) {
   r.string("seed", seed);
   r.boolean("csma", sc.csma);
   r.boolean("spatial_index", sc.spatial_index);
+  // Added mid-version-3: older repro files simply predate the flag.
+  r.optional_boolean("neighbor_cache", sc.neighbor_cache);
   r.boolean("legacy_event_queue", sc.legacy_event_queue);
   r.number("timeline_bucket_s", sc.timeline_bucket_s);
   // Added mid-version-3: older repro files simply predate the flag.

@@ -1,0 +1,408 @@
+// The neighbor cache's one non-negotiable contract: cached reachable
+// queries return *exactly* what the uncached grid scan (and the linear
+// scan) returns -- same ids, same order -- on mobile worlds, across row
+// reuse, node kills and range overrides.  Plus the epoch/counter
+// semantics, the zero-steady-state-allocation pin on the cached scan
+// path, and the end-to-end determinism proof (a full scenario run with
+// the cache on vs. off produces identical RunMetrics).
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "harness/experiment.hpp"
+#include "sim/neighbor_cache.hpp"
+#include "sim/simulator.hpp"
+#include "sim/world.hpp"
+
+namespace {
+std::atomic<std::uint64_t> g_heap_allocs{0};
+}  // namespace
+
+// Counting hooks for the zero-allocation assertion.  Only counts; all
+// storage still comes from the default heap.
+void* operator new(std::size_t n) {
+  ++g_heap_allocs;
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace refer {
+namespace {
+
+using sim::NodeId;
+
+template <typename Body>
+std::uint64_t allocations_during(Body&& body) {
+  const std::uint64_t before = g_heap_allocs.load();
+  body();
+  return g_heap_allocs.load() - before;
+}
+
+/// Randomized world mirroring the spatial-index property fixture: random
+/// area, static actuators, mixed mobile/static sensors, a few dead nodes.
+struct RandomWorld {
+  RandomWorld(std::uint64_t seed, sim::Simulator& sim) : rng(seed) {
+    const double side = rng.uniform(300, 1500);
+    world = std::make_unique<sim::World>(Rect{{0, 0}, {side, side}}, sim);
+    const int n_act = 2 + static_cast<int>(rng.below(5));
+    for (int i = 0; i < n_act; ++i) {
+      world->add_actuator({rng.uniform(0, side), rng.uniform(0, side)},
+                          rng.uniform(150, 300));
+    }
+    // Two discrete sensor range classes per world -- deployments ship a
+    // handful of radio profiles, not a continuum, and the cache's
+    // one-table-per-range-class layout leans on that.  Continuous
+    // one-off ranges still appear via range_override in the queries.
+    const double range_class[2] = {rng.uniform(60, 140),
+                                   rng.uniform(60, 140)};
+    const int n_sensors = 30 + static_cast<int>(rng.below(120));
+    for (int i = 0; i < n_sensors; ++i) {
+      const Point p{rng.uniform(0, side), rng.uniform(0, side)};
+      const double range = range_class[rng.below(2)];
+      if (rng.chance(0.7)) {
+        world->add_sensor(p, range, 0, rng.uniform(0.5, 8), rng.split());
+      } else {
+        world->add_static_sensor(p, range);
+      }
+    }
+    for (int i = 0; i < 3; ++i) {
+      world->set_alive(static_cast<NodeId>(rng.below(world->size())), false);
+    }
+  }
+
+  Rng rng;
+  std::unique_ptr<sim::World> world;
+};
+
+TEST(NeighborCacheProperty, CachedMatchesUncachedOnRandomMobileWorlds) {
+  std::uint64_t total_hits = 0;
+  int samples = 0;
+  for (std::uint64_t seed = 1; samples < 120; ++seed) {
+    sim::Simulator sim;
+    RandomWorld rw(seed * 2654435761u + 23, sim);
+    sim::World& world = *rw.world;
+    double t = 0;
+    for (int step = 0; step < 3; ++step, ++samples) {
+      // Mostly small advances, so rows built on one query survive into
+      // the next ones (the reuse the contract is really about); the
+      // occasional large jump forces re-bins and row rebuilds.
+      t += rw.rng.chance(0.3) ? rw.rng.uniform(0, 40) : rw.rng.uniform(0, 1);
+      sim.run_until(t);
+      if (rw.rng.chance(0.25)) {
+        // Liveness churn mid-stream: kills (and revivals) must be
+        // reflected by cached rows without any invalidation.
+        const auto victim = static_cast<NodeId>(rw.rng.below(world.size()));
+        world.set_alive(victim, !world.alive(victim));
+      }
+      for (int q = 0; q < 8; ++q) {
+        // Repeat each node a few times so later queries hit cached rows.
+        const auto from = static_cast<NodeId>(
+            rw.rng.below(world.size() / 2 + 1));
+        const double range_override =
+            rw.rng.chance(0.3) ? rw.rng.uniform(30, 400) : 0;
+
+        world.set_neighbor_cache_enabled(true);
+        const std::vector<NodeId> cached =
+            world.reachable_from(from, range_override);
+        // Same (from, range) again within the same epoch: a guaranteed
+        // row hit, and it must reproduce the just-built row exactly.
+        ASSERT_EQ(cached, world.reachable_from(from, range_override))
+            << "seed=" << seed << " t=" << t << " from=" << from
+            << " override=" << range_override;
+
+        // The cache toggle leaves rows (and the index) untouched, so
+        // hits accumulate across iterations.
+        world.set_neighbor_cache_enabled(false);
+        const std::vector<NodeId> uncached =
+            world.reachable_from(from, range_override);
+        world.set_neighbor_cache_enabled(true);
+
+        ASSERT_EQ(cached, uncached)
+            << "seed=" << seed << " t=" << t << " from=" << from
+            << " override=" << range_override;
+
+        if (rw.rng.chance(0.3)) {
+          // The linear cross-check costs more than the others: turning
+          // the index back on forces a rebuild, so every cached row is
+          // rebuilt afterwards.  Sampling it keeps real row *reuse* in
+          // the mix -- the property this test is really about.
+          world.set_spatial_index_enabled(false);
+          const std::vector<NodeId> linear =
+              world.reachable_from(from, range_override);
+          world.set_spatial_index_enabled(true);
+          ASSERT_EQ(cached, linear)
+              << "seed=" << seed << " t=" << t << " from=" << from
+              << " override=" << range_override;
+        }
+      }
+    }
+    total_hits += world.neighbor_cache_stats().hits;
+  }
+  // The property is vacuous if every query missed; the repeat-queries
+  // above guarantee plenty of row reuse.
+  EXPECT_GT(total_hits, 100u);
+}
+
+TEST(NeighborCacheProperty, KillsNeedNoInvalidationToStayExact) {
+  sim::Simulator sim;
+  sim::World world(Rect{{0, 0}, {600, 600}}, sim);
+  Rng rng(41);
+  world.add_actuator({300, 300}, 250);
+  for (int i = 0; i < 80; ++i) {
+    world.add_sensor({rng.uniform(0, 600), rng.uniform(0, 600)}, 100, 0, 3,
+                     rng.split());
+  }
+  sim.run_until(2);
+  const std::vector<NodeId> before = world.reachable_from(1);
+  ASSERT_FALSE(before.empty());
+  const NodeId victim = before.front();
+  const std::uint64_t inv_before =
+      world.neighbor_cache_stats().invalidations;
+
+  // Killing a neighbor must drop it from the *cached* row immediately --
+  // dead nodes stay binned and are filtered by the exact pass, so no
+  // epoch bump is needed or expected.
+  world.set_alive(victim, false);
+  const std::vector<NodeId> after = world.reachable_from(1);
+  EXPECT_EQ(world.neighbor_cache_stats().invalidations, inv_before);
+  EXPECT_EQ(after.size(), before.size() - 1);
+  for (const NodeId id : after) EXPECT_NE(id, victim);
+
+  world.set_alive(victim, true);
+  EXPECT_EQ(world.reachable_from(1), before);
+}
+
+TEST(NeighborCacheCounters, HitsRebuildsAndInvalidationsTrackEpochs) {
+  sim::Simulator sim;
+  sim::World world(Rect{{0, 0}, {500, 500}}, sim);
+  // Static world: after the initial build, nothing ever re-bins.
+  for (int i = 0; i < 40; ++i) {
+    world.add_static_sensor({12.5 * i, 250.0}, 120);
+  }
+  (void)world.reachable_from(0);  // forces the index build + first row
+  const auto& stats = world.neighbor_cache_stats();
+  EXPECT_EQ(stats.invalidations, 1u);  // the build's own epoch bump
+  EXPECT_EQ(stats.rebuilds, 1u);
+  EXPECT_EQ(stats.hits, 0u);
+
+  (void)world.reachable_from(0);  // same node, same range class: a hit
+  (void)world.reachable_from(0);
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.rebuilds, 1u);
+
+  (void)world.reachable_from(7);  // new node: its row is built once
+  (void)world.reachable_from(7);
+  EXPECT_EQ(stats.rebuilds, 2u);
+  EXPECT_EQ(stats.hits, 3u);
+
+  // A distinct range class gets its own row even for a seen node.
+  (void)world.reachable_from(0, /*range_override=*/200);
+  EXPECT_EQ(stats.rebuilds, 3u);
+  EXPECT_EQ(stats.invalidations, 1u);  // still no re-bins
+
+  // Adding a node dirties the index: full rebuild, fresh epoch, every
+  // row is rebuilt on next use and the new node shows up.
+  const NodeId late = world.add_static_sensor({0.0, 255.0}, 120);
+  const std::vector<NodeId> row0 = world.reachable_from(0);
+  EXPECT_EQ(stats.invalidations, 2u);
+  EXPECT_EQ(stats.rebuilds, 4u);
+  EXPECT_NE(std::find(row0.begin(), row0.end(), late), row0.end());
+}
+
+TEST(NeighborCacheCounters, MobilityRebinsInvalidate) {
+  sim::Simulator sim;
+  sim::World world(Rect{{0, 0}, {400, 400}}, sim);
+  Rng rng(7);
+  for (int i = 0; i < 30; ++i) {
+    world.add_sensor({rng.uniform(0, 400), rng.uniform(0, 400)}, 100, 1, 3,
+                     rng.split());
+  }
+  (void)world.reachable_from(0);
+  const std::uint64_t inv0 = world.neighbor_cache_stats().invalidations;
+  // Far past every slack deadline (slack/speed <= 5 m / 1 mps): the next
+  // query's revalidate re-bins movers and must expire cached rows.
+  sim.run_until(30);
+  (void)world.reachable_from(0);
+  EXPECT_GT(world.neighbor_cache_stats().invalidations, inv0);
+  EXPECT_GE(world.neighbor_cache_stats().rebuilds, 2u);
+}
+
+TEST(NeighborCacheSteadyState, HitPathDoesNotAllocate) {
+  // End-to-end pin on the cached scan path through World: once rows are
+  // warm, every repeat query within an epoch -- the shape the CSMA
+  // medium scan produces thousands of times per re-bin -- must be a pure
+  // array walk.  Time is held still during the measurement: advancing it
+  // belongs to the *grid's* re-bin machinery (cell vectors can hit new
+  // high-water marks as nodes cluster), which is outside this contract.
+  sim::Simulator sim;
+  sim::World world(Rect{{0, 0}, {500, 500}}, sim);
+  Rng rng(19);
+  world.add_actuator({250, 250}, 250);
+  for (int i = 0; i < 120; ++i) {
+    world.add_sensor({rng.uniform(0, 500), rng.uniform(0, 500)}, 100, 0.5, 3,
+                     rng.split());
+  }
+  std::vector<NodeId> out;
+  const auto n = static_cast<NodeId>(world.size());
+  double t = 0;
+  // Warm across epochs so scratch buffers, the sort bitmap, row pools
+  // and `out` reach their high-water capacities.
+  for (int step = 0; step < 100; ++step) {
+    sim.run_until(t += 0.5);
+    for (NodeId from = 0; from < n; ++from) {
+      world.reachable_from(from, out);
+      world.reachable_from(from, out, /*range_override=*/180);
+    }
+  }
+  const std::uint64_t hits_before = world.neighbor_cache_stats().hits;
+
+  const std::uint64_t allocs = allocations_during([&] {
+    for (int rep = 0; rep < 50; ++rep) {
+      for (NodeId from = 0; from < n; ++from) {
+        world.reachable_from(from, out);
+        world.reachable_from(from, out, /*range_override=*/180);
+      }
+    }
+  });
+  EXPECT_EQ(allocs, 0u)
+      << "cached medium scans must not touch the heap at steady state";
+  EXPECT_GE(world.neighbor_cache_stats().hits,
+            hits_before + 50u * 2u * static_cast<std::uint64_t>(n) - 2u * n);
+}
+
+TEST(NeighborCacheSteadyState, RowRebuildsRecyclePoolsWithoutAllocating) {
+  // Cache-level pin on the miss path: after an invalidation, re-storing
+  // a full epoch's worth of rows must reuse the pool and per-node
+  // arrays' capacity -- the allocation cost of a rebuild is paid once,
+  // at warmup, never per epoch.
+  constexpr std::size_t kNodes = 200;
+  sim::NeighborCache cache;
+  cache.reset(kNodes);
+  std::vector<NodeId> row;
+  row.reserve(64);
+  const auto fill_row = [&](NodeId id) {
+    row.clear();
+    for (NodeId j = 0; j < 48; ++j) {
+      row.push_back((id + j) % static_cast<NodeId>(kNodes));
+    }
+  };
+  const auto anchor_of = [](NodeId id) {
+    return Point{static_cast<double>(id), 0.0};
+  };
+  // Warmup epoch: tables created, pools and offset arrays sized.
+  for (NodeId id = 0; id < static_cast<NodeId>(kNodes); ++id) {
+    fill_row(id);
+    (void)cache.store(id, 100.0, row, anchor_of);
+    (void)cache.store(id, 250.0, row, anchor_of);
+  }
+
+  const std::uint64_t allocs = allocations_during([&] {
+    sim::NeighborCache::Row view;
+    for (int epoch = 0; epoch < 20; ++epoch) {
+      cache.invalidate();
+      for (NodeId id = 0; id < static_cast<NodeId>(kNodes); ++id) {
+        ASSERT_FALSE(cache.lookup(id, 100.0, view));  // epoch killed it
+        fill_row(id);
+        (void)cache.store(id, 100.0, row, anchor_of);
+        (void)cache.store(id, 250.0, row, anchor_of);
+        ASSERT_TRUE(cache.lookup(id, 100.0, view));
+        ASSERT_EQ(view.len, 48u);
+      }
+    }
+  });
+  EXPECT_EQ(allocs, 0u)
+      << "epoch turnover must recycle pools, not reallocate them";
+}
+
+/// Strips the world.grid.* and world.neighbor_cache.* health counters --
+/// the only observability entries allowed to differ between runs with
+/// different index/cache toggles.
+std::vector<StatsRegistry::Entry> without_toggle_counters(
+    std::vector<StatsRegistry::Entry> entries) {
+  std::erase_if(entries, [](const StatsRegistry::Entry& e) {
+    return e.name.rfind("world.grid.", 0) == 0 ||
+           e.name.rfind("world.neighbor_cache.", 0) == 0;
+  });
+  return entries;
+}
+
+void expect_identical_runs(const harness::RunMetrics& on,
+                           const harness::RunMetrics& off) {
+  ASSERT_TRUE(on.build_ok);
+  ASSERT_TRUE(off.build_ok);
+  EXPECT_EQ(on.packets_sent, off.packets_sent);
+  EXPECT_EQ(on.packets_delivered, off.packets_delivered);
+  EXPECT_EQ(on.qos_delivered, off.qos_delivered);
+  EXPECT_EQ(on.qos_throughput_kbps, off.qos_throughput_kbps);
+  EXPECT_EQ(on.avg_delay_ms, off.avg_delay_ms);
+  EXPECT_EQ(on.delay_p50_ms, off.delay_p50_ms);
+  EXPECT_EQ(on.delay_p95_ms, off.delay_p95_ms);
+  EXPECT_EQ(on.delay_p99_ms, off.delay_p99_ms);
+  EXPECT_EQ(on.delivery_ratio, off.delivery_ratio);
+  EXPECT_EQ(on.comm_energy_j, off.comm_energy_j);
+  EXPECT_EQ(on.construction_energy_j, off.construction_energy_j);
+  EXPECT_EQ(on.total_energy_j, off.total_energy_j);
+  EXPECT_EQ(on.qos_timeline_kbps, off.qos_timeline_kbps);
+
+  const auto obs_on = without_toggle_counters(on.observability);
+  const auto obs_off = without_toggle_counters(off.observability);
+  ASSERT_EQ(obs_on.size(), obs_off.size());
+  for (std::size_t i = 0; i < obs_on.size(); ++i) {
+    EXPECT_EQ(obs_on[i].name, obs_off[i].name);
+    EXPECT_EQ(obs_on[i].count, obs_off[i].count) << obs_on[i].name;
+    EXPECT_EQ(obs_on[i].sum, obs_off[i].sum) << obs_on[i].name;
+    EXPECT_EQ(obs_on[i].p50, obs_off[i].p50) << obs_on[i].name;
+    EXPECT_EQ(obs_on[i].p99, obs_off[i].p99) << obs_on[i].name;
+  }
+}
+
+TEST(NeighborCacheDeterminism, Fig04ScenarioIdenticalWithCacheOnAndOff) {
+  harness::Scenario sc;
+  sc.n_sensors = 120;
+  sc.warmup_s = 5;
+  sc.measure_s = 25;
+  sc.faulty_nodes = 5;  // liveness churn on top of mobility
+  sc.seed = 9;
+
+  for (const harness::SystemKind kind :
+       {harness::SystemKind::kRefer, harness::SystemKind::kKautzOverlay}) {
+    sc.neighbor_cache = true;
+    const harness::RunMetrics on = harness::run_once(kind, sc);
+    sc.neighbor_cache = false;
+    const harness::RunMetrics off = harness::run_once(kind, sc);
+    expect_identical_runs(on, off);
+  }
+}
+
+TEST(NeighborCacheDeterminism, HoldsOnTheLegacyEventQueueToo) {
+  harness::Scenario sc;
+  sc.n_sensors = 100;
+  sc.warmup_s = 5;
+  sc.measure_s = 20;
+  sc.faulty_nodes = 4;
+  sc.seed = 17;
+  sc.legacy_event_queue = true;
+
+  sc.neighbor_cache = true;
+  const harness::RunMetrics on =
+      harness::run_once(harness::SystemKind::kRefer, sc);
+  sc.neighbor_cache = false;
+  const harness::RunMetrics off =
+      harness::run_once(harness::SystemKind::kRefer, sc);
+  expect_identical_runs(on, off);
+}
+
+}  // namespace
+}  // namespace refer

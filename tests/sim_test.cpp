@@ -278,6 +278,64 @@ TEST_F(ChannelTest, DeadSenderFailsWithoutEnergy) {
   EXPECT_DOUBLE_EQ(energy.grand_total(), 0.0);
 }
 
+TEST_F(ChannelTest, DeadSenderEmitsUnicastFailedTrace) {
+  // Regression: the dead-sender path used to schedule done(false) without
+  // emitting kUnicastFailed, so trace_report's hop chains saw a queued
+  // send with no outcome.
+  Tracer tracer;
+  CountingTraceSink counter;
+  tracer.set_sink(std::ref(counter));
+  channel.set_tracer(&tracer);
+  const NodeId a = world.add_static_sensor({0, 0}, 100);
+  const NodeId b = world.add_static_sensor({50, 0}, 100);
+  world.set_alive(a, false);
+  channel.unicast(a, b, 500, EnergyBucket::kData, nullptr);
+  sim.run_all();
+  EXPECT_EQ(counter.count(TraceEvent::kUnicastQueued), 1u);
+  EXPECT_EQ(counter.count(TraceEvent::kUnicastFailed), 1u);
+  EXPECT_EQ(counter.count(TraceEvent::kUnicastDelivered), 0u);
+}
+
+TEST(ChannelTopK, BusiestNodesSelectsTopKWithDeterministicTies) {
+  // Jitter off: every 500-byte frame costs exactly the same airtime, so
+  // send counts fully determine the ranking and equal counts pin the
+  // tie-break (lower id first) that keeps partial selection stable.
+  Simulator sim;
+  World world{Rect{{0, 0}, {500, 500}}, sim};
+  EnergyTracker energy;
+  energy.resize(16);
+  Channel channel{sim, world, energy, Rng(5),
+                  ChannelConfig{.max_jitter_s = 0}};
+  const NodeId a = world.add_static_sensor({0, 0}, 100);
+  const NodeId b = world.add_static_sensor({50, 0}, 100);
+  const NodeId c = world.add_static_sensor({100, 0}, 100);
+  const NodeId d = world.add_static_sensor({150, 0}, 100);
+  const auto send_n = [&](NodeId from, NodeId to, int n) {
+    for (int i = 0; i < n; ++i) {
+      channel.unicast(from, to, 500, EnergyBucket::kData, nullptr);
+      sim.run_all();
+    }
+  };
+  send_n(a, b, 2);
+  send_n(b, a, 5);
+  send_n(c, b, 2);  // exact tie with a -> a wins on id
+  send_n(d, c, 1);
+
+  const auto top2 = channel.busiest_nodes(2);
+  ASSERT_EQ(top2.size(), 2u);
+  EXPECT_EQ(top2[0].first, b);
+  EXPECT_EQ(top2[1].first, a);
+
+  // Asking for more than exist returns everyone, still fully ordered.
+  const auto all = channel.busiest_nodes(10);
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all[0].first, b);
+  EXPECT_EQ(all[1].first, a);
+  EXPECT_EQ(all[2].first, c);
+  EXPECT_EQ(all[3].first, d);
+  EXPECT_DOUBLE_EQ(all[1].second, all[2].second);
+}
+
 TEST_F(ChannelTest, FailureTakesLongerThanSuccess) {
   const NodeId a = world.add_static_sensor({0, 0}, 100);
   const NodeId b = world.add_static_sensor({50, 0}, 100);

@@ -269,12 +269,14 @@ TEST(RouteCache, AgreesWithDisjointRoutesAndCountsHits) {
   EXPECT_GT(cache.misses(), 0u);
 }
 
-/// Strips the world.grid.* index-health counters -- the only
-/// observability entries allowed to differ between index on and off.
+/// Strips the world.grid.* and world.neighbor_cache.* health counters --
+/// the only observability entries allowed to differ between runs with
+/// different index/cache toggles.
 std::vector<StatsRegistry::Entry> without_grid_counters(
     std::vector<StatsRegistry::Entry> entries) {
   std::erase_if(entries, [](const StatsRegistry::Entry& e) {
-    return e.name.rfind("world.grid.", 0) == 0;
+    return e.name.rfind("world.grid.", 0) == 0 ||
+           e.name.rfind("world.neighbor_cache.", 0) == 0;
   });
   return entries;
 }

@@ -43,6 +43,8 @@ void print_usage(std::FILE* out) {
                "                  seconds (analyze with timeline_report)\n"
                "  --phase-profile wall-clock phase attribution per bucket\n"
                "  --no-spatial-index  O(n) world scans instead of the grid\n"
+               "  --no-neighbor-cache  re-walk the grid per reachable query\n"
+               "                  instead of reusing cached neighbor rows\n"
                "  --legacy-event-queue  binary-heap kernel instead of the\n"
                "                  calendar queue\n"
                "  --quick         reps=1, measure=45 (smoke runs)\n"
