@@ -35,6 +35,10 @@
 //   --legacy-event-queue  run the simulator kernel on the original binary
 //                   heap instead of the calendar queue (bit-identical,
 //                   only slower; the event-engine escape hatch)
+//   --routing-policy greedy|regular  REFER intra-cell routing protocol
+//                   (default greedy, the paper's SIII-C2 shortest
+//                   paths; regular = Faber-Streib all-to-all walks
+//                   with Theorem 3.8 fail-over)
 //   --quick         reps=1, measure=45 (CI smoke runs)
 //   --full          reps=5, measure=200 (closer to paper scale)
 //
@@ -129,6 +133,12 @@ inline BenchOptions parse_options(int argc, char** argv) {
       opt.base.neighbor_cache = false;
     } else if (arg == "--legacy-event-queue") {
       opt.base.legacy_event_queue = true;
+    } else if (arg == "--routing-policy") {
+      const std::string value = string_value(i);
+      if (!harness::parse_routing_policy(value, opt.base.routing_policy)) {
+        usage_error("--routing-policy: expected greedy or regular, got '" +
+                    value + "'");
+      }
     } else if (arg == "--quick") {
       opt.reps = 1;
       opt.base.measure_s = 45;

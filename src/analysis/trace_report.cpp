@@ -7,6 +7,7 @@
 
 #include "analysis/jsonl.hpp"
 #include "kautz/label.hpp"
+#include "kautz/regular.hpp"
 #include "kautz/routing.hpp"
 
 namespace refer::analysis {
@@ -71,6 +72,9 @@ bool ingest(TraceReport& report, const JsonObject& obj) {
     const int d = static_cast<int>(num_or(obj, "degree", -1));
     if (d < 2) return false;
     report.header_degree = d;
+    // Routing policy: the writer only emits the key when the run used a
+    // non-default policy, so absence means greedy.
+    report.header_policy = str_or(obj, "policy");
     return true;
   }
   if (event == "app_loop_miss") {
@@ -224,6 +228,13 @@ void audit_failovers(TraceReport& report) {
         ++report.failover_mismatches;
         continue;
       }
+      // The length bound below holds for greedy continuations only:
+      // greedy can shortcut a nominal route, never overshoot.  Under the
+      // regular policy the packet restarts its concatenation walk from
+      // wherever the detour lands -- up to k + 1 hops regardless of the
+      // alternate's nominal length -- so the bound does not apply;
+      // audit_regular checks that continuation hop by hop instead.
+      if (report.header_policy == "regular") continue;
       // Observed continuation: hops after this fail-over routing towards
       // the same dst, until the target is reached or the segment is cut
       // short (another fail-over, a re-target, a drop).
@@ -243,6 +254,125 @@ void audit_failovers(TraceReport& report) {
       }
       if (completed && observed > f.nominal_len) {
         ++report.path_length_violations;
+      }
+    }
+  }
+}
+
+/// Audit 4: regular-policy traces only (the trace_header carries
+/// policy="regular").  Re-derives every packet's Faber-Streib
+/// concatenation walk offline (kautz::regular_route is a pure function
+/// of the labels) and replays it hop by hop.  Every hop not explained
+/// by a fail-over must either *continue* the walk in progress (same
+/// node the walk expected, same target, program not exhausted) or be
+/// the *first* hop of a fresh walk derived at this node -- the router
+/// restarts the walk at a fail-over detour, a corner re-target, the
+/// descent into the next cell, or an exhausted program, and a re-target
+/// can happen silently at the detour node itself (all alternates
+/// exhausted), so the restart point is not recoverable from the trace
+/// alone.  Fail-over-selected hops are exempt (they are the Theorem 3.8
+/// alternates audit_failovers already covers) but still sync the walk
+/// state; a conflict-class fail-over additionally dictates the next hop
+/// (Proposition 3.7), cross-checked against the re-derived forced
+/// second hop.
+void audit_regular(TraceReport& report) {
+  if (report.degree < 2 || report.header_policy != "regular") return;
+  for (auto& [id, pkt] : report.packets) {
+    kautz::RegularRoute walk;
+    int pos = 0;
+    std::optional<kautz::Label> expected_at;  // where the walk stands
+    std::optional<kautz::Label> walk_dst;     // target the walk serves
+    // Armed after a conflict-class fail-over: the Proposition 3.7 hop
+    // expected at node `forced_at` while still routing to `forced_dst`.
+    std::optional<kautz::Label> forced_next, forced_at, forced_dst;
+    std::size_t fi = 0;
+    for (const HopRecord& hop : pkt.hops) {
+      // Fail-over records since the previous hop mean this hop's
+      // successor came from the Theorem 3.8 alternates (or a
+      // route-generation flood), not the walk.
+      const FailoverRecord* detour = nullptr;
+      while (fi < pkt.failovers.size() && pkt.failovers[fi].t <= hop.t) {
+        detour = &pkt.failovers[fi];
+        ++fi;
+      }
+      const auto at = kautz::Label::parse(hop.at);
+      const auto dst = kautz::Label::parse(hop.dst);
+      const auto next = kautz::Label::parse(hop.next);
+      if (!at || !dst || !next || *at == *dst) {
+        expected_at.reset();
+        forced_next.reset();
+        continue;  // audit_chains flags malformed labels
+      }
+      if (detour) {
+        expected_at.reset();
+        forced_next.reset();
+        // Conflict-class detour? Re-derive the Theorem 3.8 routes at the
+        // switch point and arm the forced-second-hop expectation.
+        if (detour->nominal_len >= 0 && !detour->at.empty() &&
+            !detour->dst.empty() && !detour->next.empty()) {
+          const auto f_at = kautz::Label::parse(detour->at);
+          const auto f_dst = kautz::Label::parse(detour->dst);
+          const auto f_next = kautz::Label::parse(detour->next);
+          if (f_at && f_dst && f_next && *f_at != *f_dst) {
+            for (const kautz::Route& route :
+                 kautz::disjoint_routes(report.degree, *f_at, *f_dst)) {
+              if (route.successor != *f_next) continue;
+              if (route.forced_second_hop) {
+                forced_next = *route.forced_second_hop;
+                forced_at = *f_next;
+                forced_dst = *f_dst;
+              }
+              break;
+            }
+          }
+        }
+      } else if (forced_next) {
+        // The forced hop fires only when the packet is still standing
+        // where the conflict detour left it, routing to the same target;
+        // a delivery or re-target in between voids the directive.
+        const bool applies = *forced_at == *at && *forced_dst == *dst;
+        if (applies) {
+          ++report.regular_checked;
+          if (*next != *forced_next) ++report.regular_mismatches;
+          forced_next.reset();
+          // The router re-derives after a forced hop (expected-label
+          // mismatch), so the walk restarts at the landing node.
+          expected_at.reset();
+          continue;
+        }
+        forced_next.reset();
+      }
+
+      // Continuation: the walk in progress expected to stand exactly
+      // here with this target and has program left.
+      bool synced = false;
+      if (expected_at && *expected_at == *at && walk_dst &&
+          *walk_dst == *dst && pos < walk.length) {
+        const kautz::Label cont =
+            at->shift_append(walk.digits[static_cast<std::size_t>(pos)]);
+        if (*next == cont) {
+          ++pos;
+          expected_at = cont;
+          synced = true;
+        }
+      }
+      // Restart: first hop of a fresh walk derived at this node.
+      if (!synced) {
+        const kautz::RegularRoute fresh =
+            kautz::regular_route(report.degree, *at, *dst);
+        if (fresh.length > 0 && *next == at->shift_append(fresh.digits[0])) {
+          walk = fresh;
+          pos = 1;
+          expected_at = *next;
+          walk_dst = *dst;
+          synced = true;
+        }
+      }
+      if (detour) continue;  // exempt: sync only, no verdict
+      ++report.regular_checked;
+      if (!synced) {
+        ++report.regular_mismatches;
+        expected_at.reset();  // resync from wherever the packet really is
       }
     }
   }
@@ -269,6 +399,7 @@ TraceReport analyze_trace(std::istream& in, const TraceReportOptions& opts) {
                                                   : infer_degree(report));
   audit_chains(report);
   audit_failovers(report);
+  audit_regular(report);
   return report;
 }
 
@@ -322,6 +453,13 @@ void print_report(const TraceReport& report, const TraceReportOptions& opts,
   std::fprintf(out, "hop chains: %llu breaks, %llu invalid Kautz arcs\n",
                static_cast<unsigned long long>(report.chain_breaks),
                static_cast<unsigned long long>(report.arc_violations));
+  if (report.header_policy == "regular") {
+    std::fprintf(out,
+                 "regular-route audit: %llu hops checked, "
+                 "%llu walk mismatches\n",
+                 static_cast<unsigned long long>(report.regular_checked),
+                 static_cast<unsigned long long>(report.regular_mismatches));
+  }
 
   // Show the first few packets that actually needed fail-overs: the
   // per-hop chain with the switch points inline.

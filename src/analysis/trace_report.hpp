@@ -1,7 +1,7 @@
 // Offline trace analyzer: reconstructs per-packet hop chains from JSONL
 // traces and audits the routing layer against the Kautz theory.
 //
-// Three independent audits run over every trace (tools/trace_report):
+// Four independent audits run over every trace (tools/trace_report):
 //   1. Schema: every record carries the keys its event type promises
 //      (routing events have a packet id, drops have a reason, ...; a
 //      qos_deadline_miss may omit the id -- baseline systems don't
@@ -12,8 +12,16 @@
 //   3. Theorem 3.8: every fail-over that switched to an alternate
 //      successor is re-derived offline via kautz::disjoint_routes --
 //      the chosen successor must be one of the d disjoint routes with
-//      exactly the nominal length the router recorded, and the observed
-//      continuation must not exceed that nominal length.
+//      exactly the nominal length the router recorded, and (greedy runs
+//      only) the observed continuation must not exceed that nominal
+//      length.
+//   4. Regular walks (only when the trace_header says the run used the
+//      regular routing policy): every hop not explained by a fail-over
+//      must continue the packet's Faber-Streib concatenation walk,
+//      re-derived offline via kautz::regular_route with the same reset
+//      points the router uses (fail-over detour, target change,
+//      exhausted program); a conflict-class fail-over's Proposition 3.7
+//      forced second hop is cross-checked too.
 #pragma once
 
 #include <cstdint>
@@ -86,15 +94,21 @@ struct TraceReport {
   std::uint64_t path_length_violations = 0;  ///< observed > nominal
   std::uint64_t chain_breaks = 0;            ///< hop chain discontinuity
   std::uint64_t arc_violations = 0;          ///< labelled hop not a Kautz arc
+  std::uint64_t regular_checked = 0;     ///< hops audited against the walk
+  std::uint64_t regular_mismatches = 0;  ///< hop left the regular program
   int header_degree = 0;  ///< d from a trace_header record (0: absent)
   int degree = 0;  ///< d used for the audit (given, header, or inferred)
+  /// Routing policy from the trace_header ("" when absent -- the writer
+  /// only emits the key for non-default policies, so "" means greedy).
+  std::string header_policy;
 
   std::map<long long, PacketTrace> packets;
 
   /// Everything that should fail a strict CI run.
   [[nodiscard]] std::uint64_t violations() const noexcept {
     return parse_errors + schema_errors + failover_mismatches +
-           path_length_violations + chain_breaks + arc_violations;
+           path_length_violations + chain_breaks + arc_violations +
+           regular_mismatches;
   }
 };
 

@@ -81,4 +81,30 @@ double percentile(std::vector<double> xs, double p) noexcept {
   return xs[lo] * (1 - frac) + xs[hi] * frac;
 }
 
+double gini_coefficient(std::vector<double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  double total = 0;
+  double weighted = 0;  // sum of (i+1) * x_(i) over the ascending order
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    total += xs[i];
+    weighted += static_cast<double>(i + 1) * xs[i];
+  }
+  if (total <= 0) return 0.0;
+  const auto n = static_cast<double>(xs.size());
+  return 2.0 * weighted / (n * total) - (n + 1.0) / n;
+}
+
+double max_min_ratio(const std::vector<double>& xs) noexcept {
+  double lo = 0, hi = 0;
+  bool any = false;
+  for (double x : xs) {
+    if (x <= 0) continue;
+    if (!any || x < lo) lo = x;
+    if (!any || x > hi) hi = x;
+    any = true;
+  }
+  return any ? hi / lo : 0.0;
+}
+
 }  // namespace refer

@@ -51,4 +51,15 @@ class Summary {
 /// p-th percentile (0 <= p <= 100) by linear interpolation; 0 for empty.
 [[nodiscard]] double percentile(std::vector<double> xs, double p) noexcept;
 
+/// Gini coefficient of a non-negative sample (0 = perfectly even,
+/// -> 1 = all mass on one element).  Zeros count: an idle node *is*
+/// unfairness when its peers burn airtime.  0 for empty or zero-sum
+/// samples.
+[[nodiscard]] double gini_coefficient(std::vector<double> xs) noexcept;
+
+/// max / min over the *positive* entries of the sample (idle elements
+/// carry no load to compare).  0 when fewer than one positive entry;
+/// 1 means perfectly balanced.
+[[nodiscard]] double max_min_ratio(const std::vector<double>& xs) noexcept;
+
 }  // namespace refer

@@ -86,6 +86,11 @@ class ReferAdapter final : public WsanSystem {
     registry.counter("router.route_gen_floods").set(s.route_gen_floods);
     registry.counter("router.relays_used").set(s.relays_used);
     registry.counter("router.can_hops").set(s.can_hops);
+    // Regular-policy walk derivations: only exported when the policy
+    // actually ran, so greedy observability snapshots stay byte-stable.
+    if (s.regular_walks > 0) {
+      registry.counter("router.regular_walks").set(s.regular_walks);
+    }
     const kautz::RouteCache& rc = system_.router().route_cache();
     registry.counter("router.route_cache_hits").set(rc.hits());
     registry.counter("router.route_cache_misses").set(rc.misses());
@@ -204,6 +209,9 @@ struct Deployment {
       case SystemKind::kRefer: {
         core::ReferConfig config;
         config.router.planted_bug = scenario.planted_bug;
+        config.router.policy = scenario.routing_policy == RoutingPolicy::kRegular
+                                   ? core::RoutingPolicy::kRegular
+                                   : core::RoutingPolicy::kGreedy;
         auto adapter = std::make_unique<ReferAdapter>(
             sim, world, channel, energy, Rng(scenario.seed ^ 0x5EED), &tracer,
             config);
@@ -380,12 +388,33 @@ class Driver {
     st.counter("world.neighbor_cache.hits").set(ns.hits);
     st.counter("world.neighbor_cache.rebuilds").set(ns.rebuilds);
     st.counter("world.neighbor_cache.invalidations").set(ns.invalidations);
+    st.counter("world.neighbor_cache.skipped_fills").set(ns.skipped_fills);
     for (const auto& [node, airtime] : dep_->channel.busiest_nodes(5)) {
       st.counter("node." + std::to_string(node) + ".airtime_us")
           .set(static_cast<std::uint64_t>(airtime * 1e6));
     }
     system_->export_stats(st);
     metrics.observability = st.snapshot();
+
+    // Load-fairness series (schema v5): airtime spread over every node
+    // of the deployment (zeros included -- an idle node is the flip
+    // side of a hot one), and -- REFER only -- the per-arc forward
+    // histogram the routing-policy comparison is about.
+    std::vector<double> airtime(dep_->world.size());
+    for (std::size_t n = 0; n < airtime.size(); ++n) {
+      airtime[n] = dep_->channel.node_airtime_s(static_cast<NodeId>(n));
+    }
+    metrics.airtime_gini = gini_coefficient(airtime);
+    metrics.airtime_max_min = max_min_ratio(airtime);
+    if (core::ReferSystem* rs = system_->refer_system()) {
+      const std::vector<std::uint64_t>& arcs = rs->router().arc_forwards();
+      if (!arcs.empty()) {
+        std::vector<double> load(arcs.begin(), arcs.end());
+        metrics.arc_load_gini = gini_coefficient(load);
+        metrics.arc_load_max_min = max_min_ratio(load);
+        metrics.arc_forwards = arcs;
+      }
+    }
     return metrics;
   }
 
@@ -584,6 +613,12 @@ std::vector<AggregateMetrics> aggregate_jobs(const std::vector<JobSpec>& specs,
       agg.app_actuator_availability.add(m.app_actuator_availability);
       agg.app_mean_recovery_s.add(m.app_mean_recovery_s);
     }
+    agg.airtime_gini.add(m.airtime_gini);
+    agg.airtime_max_min.add(m.airtime_max_min);
+    if (!m.arc_forwards.empty()) {
+      agg.arc_load_gini.add(m.arc_load_gini);
+      agg.arc_load_max_min.add(m.arc_load_max_min);
+    }
   }
   return groups;
 }
@@ -600,6 +635,7 @@ void append_group(std::vector<JobSpec>& specs, std::size_t group, double x,
     spec.record.system = kind;
     spec.record.rep = i;
     spec.record.seed = base_seed + static_cast<std::uint64_t>(i) * 7919;
+    spec.record.policy = scenario.routing_policy;
     spec.scenario = scenario;
     spec.scenario.seed = spec.record.seed;
     if (!scenario.trace_dir.empty()) {
@@ -620,10 +656,10 @@ void append_group(std::vector<JobSpec>& specs, std::size_t group, double x,
 
 AggregateMetrics run_repeated(SystemKind kind, Scenario scenario,
                               int repetitions, int jobs,
-                              const JobSink& sink) {
+                              const JobSink& sink, double x) {
   std::vector<JobSpec> specs;
   specs.reserve(static_cast<std::size_t>(std::max(0, repetitions)));
-  append_group(specs, 0, 0.0, kind, scenario, repetitions);
+  append_group(specs, 0, x, kind, scenario, repetitions);
   execute_jobs(specs, jobs);
   return aggregate_jobs(specs, 1, sink)[0];
 }

@@ -93,16 +93,27 @@ struct AggregateMetrics {
   Summary app_loop_p95_ms;
   Summary app_actuator_availability;
   Summary app_mean_recovery_s;
+  // Load-fairness series (schema v5; RunMetrics::airtime_gini etc.).
+  // Arc-load entries are only fed by jobs that recorded Kautz arcs
+  // (REFER), so baseline aggregates stay n=0 there.
+  Summary airtime_gini;
+  Summary airtime_max_min;
+  Summary arc_load_gini;
+  Summary arc_load_max_min;
 };
 
 /// One decomposed unit of an experiment: a single run_once call.  The
 /// parallel executor (src/runner) hands these to a results sink in
 /// deterministic order so JSON exports are reproducible run-to-run.
 struct JobRecord {
-  double x = 0;  ///< sweep x value (0 for run_repeated)
+  double x = 0;  ///< sweep x value (or run_repeated's explicit x, else 0)
   SystemKind system = SystemKind::kRefer;
   int rep = 0;            ///< repetition index within the (x, system) group
   std::uint64_t seed = 0; ///< the scenario seed the job actually ran with
+  /// The routing policy the job's scenario ran with; serialized into the
+  /// jobs_run record only when non-default, so two-policy documents stay
+  /// self-describing while greedy-only ones are byte-stable.
+  RoutingPolicy policy = RoutingPolicy::kGreedy;
   double wall_ms = 0;     ///< wall-clock cost of this job
   RunMetrics metrics;
 };
@@ -117,10 +128,13 @@ using JobSink = std::function<void(const JobRecord&)>;
 /// are aggregated in the same order as the serial path, so the returned
 /// AggregateMetrics is bit-identical for any job count (run_once is
 /// deterministic and uses no global random state).
+/// `x` only labels the emitted JobRecords (e.g. the offered-load value
+/// of a single-system comparison point); it does not affect the runs.
 [[nodiscard]] AggregateMetrics run_repeated(SystemKind kind,
                                             Scenario scenario,
                                             int repetitions, int jobs = 1,
-                                            const JobSink& sink = {});
+                                            const JobSink& sink = {},
+                                            double x = 0);
 
 /// One point of a figure: x value plus per-system aggregates.
 struct SweepPoint {

@@ -36,6 +36,21 @@ struct RunMetrics {
   double construction_energy_j = 0;  ///< topology construction
   double total_energy_j = 0;
 
+  // Fairness of the load distribution (Scenario::routing_policy
+  // comparison surface; schema v5).  Airtime fairness spans every node
+  // of the deployment (zeros included -- an idle node is unfairness);
+  // arc-load fairness spans the Kautz arcs the REFER router actually
+  // forwarded on, and stays 0 for systems without a Kautz overlay.
+  double airtime_gini = 0;
+  double airtime_max_min = 0;  ///< max/min over nodes with airtime > 0
+  double arc_load_gini = 0;
+  double arc_load_max_min = 0;
+  /// Successful forwards per Kautz arc, indexed
+  /// label.to_index(d) * d + out-digit rank (kautz/regular.hpp explains
+  /// the arc space).  Empty for non-REFER systems; serialized only when
+  /// non-empty.
+  std::vector<std::uint64_t> arc_forwards;
+
   /// QoS throughput per Scenario::timeline_bucket_s bucket (empty when
   /// the scenario did not request a timeline).  Derived from
   /// timeseries.qos_delivered with the exact legacy (schema v3)

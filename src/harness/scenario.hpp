@@ -9,6 +9,35 @@ namespace refer::harness {
 
 class RunObserver;  // harness/experiment.hpp
 
+/// Intra-cell routing protocol of the REFER system under test.
+///   kGreedy  -- paper SIII-C greedy shortest path over the Theorem 3.8
+///               disjoint-route family (the default; every pre-existing
+///               figure uses it).
+///   kRegular -- Faber-Streib regular all-to-all routing
+///               (kautz/regular.hpp): fixed concatenation walks with
+///               near-equal per-arc load, Theorem 3.8 routes demoted to
+///               fail-over.
+/// Baseline systems ignore the policy (they have no Kautz overlay).
+enum class RoutingPolicy { kGreedy, kRegular };
+
+[[nodiscard]] constexpr const char* to_string(RoutingPolicy p) noexcept {
+  return p == RoutingPolicy::kRegular ? "regular" : "greedy";
+}
+
+/// Parses "greedy" / "regular"; false on anything else (`out` untouched).
+[[nodiscard]] inline bool parse_routing_policy(const std::string& text,
+                                               RoutingPolicy& out) noexcept {
+  if (text == "greedy") {
+    out = RoutingPolicy::kGreedy;
+    return true;
+  }
+  if (text == "regular") {
+    out = RoutingPolicy::kRegular;
+    return true;
+  }
+  return false;
+}
+
 /// All knobs of one simulated deployment + workload.  Defaults reproduce
 /// the paper's setup scaled for wall-clock speed: 500 m x 500 m, 5
 /// actuators (quincunx -> 4 K(2,3) cells), 200 i.i.d. sensors, ranges
@@ -119,6 +148,13 @@ struct Scenario {
   /// expires them.  Results are bit-identical either way (proven by
   /// test); false (--no-neighbor-cache) is the perf escape hatch.
   bool neighbor_cache = true;
+
+  /// Intra-cell routing protocol of the REFER system (see RoutingPolicy
+  /// above).  Greedy is the default so every pre-existing greedy figure
+  /// reproduces bit-identically; baselines ignore it.  Serialized into
+  /// results + repro JSON (schema v5 / repro v4) and fuzzed like
+  /// neighbor_cache.
+  RoutingPolicy routing_policy = RoutingPolicy::kGreedy;
 
   /// Event-queue ablation: false (default) runs the simulator on the
   /// calendar queue, true restores the original binary heap

@@ -1,0 +1,59 @@
+#include "kautz/regular.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace refer::kautz {
+
+Digit regular_separator(int d, const Label& u, const Label& v) noexcept {
+  assert(d >= 1 && u.length() == v.length() && !u.empty());
+  const int index =
+      (static_cast<int>(u.first()) + static_cast<int>(v.last())) % d;
+  // The index-th smallest letter of {0..d} \ {u_k}: letters below u_k
+  // keep their value, letters at or above it are shifted up by one.
+  const int forbidden = static_cast<int>(u.last());
+  const int letter = index < forbidden ? index : index + 1;
+  return static_cast<Digit>(letter);
+}
+
+RegularRoute regular_route(int d, const Label& u, const Label& v) {
+  assert(u.length() == v.length());
+  RegularRoute route;
+  if (u == v) return route;
+  int at = 0;
+  if (u.last() == v.first()) {
+    route.has_separator = true;
+    route.digits[static_cast<std::size_t>(at++)] = regular_separator(d, u, v);
+  }
+  for (int i = 0; i < v.length(); ++i) {
+    route.digits[static_cast<std::size_t>(at++)] = v[i];
+  }
+  route.length = at;
+  return route;
+}
+
+Label regular_successor(int d, const Label& u, const Label& v) {
+  const RegularRoute route = regular_route(d, u, v);
+  if (route.length == 0) {
+    throw std::logic_error("regular_successor: u == v has no successor");
+  }
+  return u.shift_append(route.digits[0]);
+}
+
+std::vector<Label> regular_path(int d, const Label& u, const Label& v) {
+  const RegularRoute route = regular_route(d, u, v);
+  std::vector<Label> path;
+  path.reserve(static_cast<std::size_t>(route.length) + 1);
+  path.push_back(u);
+  Label at = u;
+  for (int i = 0; i < route.length && at != v; ++i) {
+    at = at.shift_append(route.digits[static_cast<std::size_t>(i)]);
+    path.push_back(at);
+  }
+  if (at != v) {
+    throw std::logic_error("regular_path: route did not reach destination");
+  }
+  return path;
+}
+
+}  // namespace refer::kautz

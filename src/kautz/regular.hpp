@@ -1,0 +1,99 @@
+// Regular all-to-all routing on Kautz graphs (Faber & Streib,
+// "All-to-all Routing on Kautz Graphs: Regular Routing Beats Shortest
+// Paths").
+//
+// Greedy shortest-path routing (routing.hpp) concentrates all-to-all
+// traffic on a skewed subset of arcs: the out-digit it appends is
+// v_{l+1}, so arcs whose appended digit continues a popular destination
+// prefix carry far more source-destination pairs than others.  Regular
+// routing gives up shortness for *structure*: every route is the fixed
+// concatenation walk that appends the destination's digits
+// v_1 v_2 ... v_k in order,
+//
+//   u_1...u_k -> u_2...u_k v_1 -> ... -> v_1...v_k,
+//
+// so after step i the walk sits on the window u_{i+1}...u_k v_1...v_i.
+// Counting pairs that cross a fixed arc at step i: the source's free
+// digits u_1...u_i contribute d^{i-1} choices and the destination's
+// free digits v_{i+1}...v_k contribute d^{k-i}, giving d^{k-1} pairs
+// per arc per step -- *independent of the arc*.  Summed over the k
+// steps the no-separator family loads every arc of K(d,k) exactly
+// equally; that rotation symmetry is what "regular" buys and shortest
+// paths cannot.
+//
+// When u_k == v_1 the direct concatenation is not an arc walk (appending
+// v_1 would repeat the last digit), so one separator digit s != u_k is
+// inserted first (length k + 1).  The separator is a pure function of
+// the two labels -- s = the ((u_1 + v_k) mod d)-th smallest letter of
+// {0..d} \ {u_k} -- chosen to scatter the extra load across all d
+// candidate arcs instead of biasing one, and re-derivable offline so
+// trace_report --strict can audit every regular hop without run state.
+//
+// Length bound: every regular route takes at most k + 1 hops (k when
+// u_k != v_1).  The walk is truncated at the first arrival at v: labels
+// with a long u/v overlap reach v before the full window slides past,
+// and forwarding a packet already standing at its destination would be
+// absurd in a real network.  Truncation only ever *removes* load, so
+// the near-uniform bound survives it (pinned by the arc-load
+// conformance tests).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "kautz/label.hpp"
+
+namespace refer::kautz {
+
+/// The out-digit program of one regular route: the packet appends
+/// digits[0], digits[1], ... in order until it stands on the
+/// destination label.  length == 0 means u == v (already delivered).
+struct RegularRoute {
+  std::array<Digit, Label::kMaxLength + 1> digits{};
+  int length = 0;           ///< hops in the untruncated program (k or k+1)
+  bool has_separator = false;  ///< true iff digits[0] is the separator
+};
+
+/// The separator digit inserted when u_k == v_1: the
+/// ((u_1 + v_k) mod d)-th smallest letter of {0..d} \ {u_k}.  Pure
+/// function of the labels (no run state), so an offline auditor can
+/// re-derive it.  Precondition: equal lengths, d >= 1.
+[[nodiscard]] Digit regular_separator(int d, const Label& u,
+                                      const Label& v) noexcept;
+
+/// The full out-digit program of the regular U -> V route.
+/// Precondition: u and v are valid equal-length labels of K(d, *).
+[[nodiscard]] RegularRoute regular_route(int d, const Label& u,
+                                         const Label& v);
+
+/// First hop of the regular route (the label after appending
+/// digits[0]).  Precondition: u != v.
+[[nodiscard]] Label regular_successor(int d, const Label& u, const Label& v);
+
+/// Materialises the node sequence U, ..., V of the regular route,
+/// truncated at the first arrival at V.  size() - 1 <= k + 1 hops.
+[[nodiscard]] std::vector<Label> regular_path(int d, const Label& u,
+                                              const Label& v);
+
+/// Per-degree convenience wrapper (mirrors how a REFER node holds d
+/// fixed for the lifetime of its cell).
+class RegularRouter {
+ public:
+  explicit RegularRouter(int d) noexcept : d_(d) {}
+
+  [[nodiscard]] int degree() const noexcept { return d_; }
+  [[nodiscard]] RegularRoute route(const Label& u, const Label& v) const {
+    return regular_route(d_, u, v);
+  }
+  [[nodiscard]] Label successor(const Label& u, const Label& v) const {
+    return regular_successor(d_, u, v);
+  }
+  [[nodiscard]] std::vector<Label> path(const Label& u, const Label& v) const {
+    return regular_path(d_, u, v);
+  }
+
+ private:
+  int d_;
+};
+
+}  // namespace refer::kautz

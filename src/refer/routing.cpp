@@ -34,6 +34,10 @@ void ReferRouter::emit_trace_header() {
   rec.t = sim_->now();
   rec.event = sim::TraceEvent::kTraceHeader;
   rec.degree = topology_->degree();
+  // Only the non-default policy is announced, keeping greedy traces
+  // byte-identical to pre-policy runs; trace_report treats an absent
+  // key as greedy.
+  if (config_.policy == RoutingPolicy::kRegular) rec.policy = "regular";
   tracer_->emit(rec);
 }
 
@@ -226,6 +230,37 @@ void ReferRouter::intra_step(Cid cid, Label label, NodeId node,
     for (const auto& alt : cache_scratch_) {
       if (alt.successor != forced) routes.push_back(alt);
     }
+  } else if (config_.policy == RoutingPolicy::kRegular) {
+    // Regular all-to-all routing (kautz/regular.hpp): continue the
+    // packet's concatenation-walk program when this node is exactly
+    // where the walk expected to stand; otherwise -- first hop,
+    // fail-over detour landed elsewhere, corner re-target -- derive a
+    // fresh walk from this label (a pure function of the endpoints, no
+    // signalling).  The Theorem 3.8 routes stay behind it as fail-over.
+    if (!pkt->regular_active || pkt->regular_target != target ||
+        pkt->regular_expected != label ||
+        pkt->regular_pos >= pkt->regular_walk.length) {
+      pkt->regular_walk =
+          kautz::regular_route(topology_->degree(), label, target);
+      pkt->regular_pos = 0;
+      pkt->regular_target = target;
+      pkt->regular_active = true;
+      ++stats_.regular_walks;
+    }
+    const Label reg_succ = label.shift_append(
+        pkt->regular_walk.digits[static_cast<std::size_t>(pkt->regular_pos)]);
+    ++pkt->regular_pos;
+    pkt->regular_expected = reg_succ;
+    kautz::Route r;
+    r.successor = reg_succ;
+    r.path_class = kautz::PathClass::kOther;
+    r.nominal_length = 0;  // programmed walk hop; the Theorem 3.8
+                           // alternates below keep their real nominals
+    routes.push_back(r);
+    route_cache_.lookup(topology_->degree(), label, target, cache_scratch_);
+    for (const auto& alt : cache_scratch_) {
+      if (alt.successor != reg_succ) routes.push_back(alt);
+    }
   } else {
     route_cache_.lookup(topology_->degree(), label, target, routes);
   }
@@ -322,6 +357,7 @@ void ReferRouter::try_routes(Cid cid, Label label, NodeId node,
                    return;
                  }
                  ++pkt->kautz_hops;
+                 record_arc(label, succ_label);
                  if (tracing()) {
                    sim::TraceRecord rec = trace_base(
                        sim::TraceEvent::kHopForward, *pkt, node);
@@ -531,6 +567,30 @@ void ReferRouter::route_generation_failover(Cid cid, NodeId node,
             });
       },
       config_.data_bytes / 16 + 32, config_.route_gen_deadline_s);
+}
+
+void ReferRouter::record_arc(const Label& u, const Label& next) {
+  const int d = topology_->degree();
+  if (arc_forwards_.empty()) {
+    // (d+1) * d^{k-1} labels times d out-arcs each.  The cap only
+    // guards against absurd (d, k) combinations; a K(2,3) cell has 36
+    // arcs and even K(4,8) stays under a megabyte of counters.
+    constexpr std::uint64_t kMaxArcs = std::uint64_t{1} << 22;
+    std::uint64_t labels = static_cast<std::uint64_t>(d) + 1;
+    for (int i = 1; i < u.length(); ++i) {
+      labels *= static_cast<std::uint64_t>(d);
+    }
+    const std::uint64_t arcs = labels * static_cast<std::uint64_t>(d);
+    if (arcs == 0 || arcs > kMaxArcs) return;
+    arc_forwards_.assign(arcs, 0);
+  }
+  const int appended = static_cast<int>(next.last());
+  const int forbidden = static_cast<int>(u.last());
+  const int rank = appended < forbidden ? appended : appended - 1;
+  const std::uint64_t idx =
+      u.to_index(d) * static_cast<std::uint64_t>(d) +
+      static_cast<std::uint64_t>(rank);
+  if (idx < arc_forwards_.size()) ++arc_forwards_[idx];
 }
 
 void ReferRouter::deliver(NodeId at, PacketPtr pkt) {

@@ -23,6 +23,7 @@
 #include <functional>
 #include <memory>
 
+#include "kautz/regular.hpp"
 #include "kautz/route_cache.hpp"
 #include "kautz/routing.hpp"
 #include "net/flooding.hpp"
@@ -42,10 +43,23 @@ enum class FailoverMode {
   kRouteGeneration,
 };
 
+/// Which route family an intra-cell relay tries *first*
+/// (harness::Scenario::routing_policy maps onto this).
+enum class RoutingPolicy {
+  /// Paper SIII-C2 greedy: the Theorem 3.8 routes in nominal-length
+  /// order, shortest first.
+  kGreedy,
+  /// Faber-Streib regular all-to-all routing (kautz/regular.hpp): the
+  /// fixed concatenation-walk successor first, the Theorem 3.8 routes
+  /// demoted to fail-over for broken hops.
+  kRegular,
+};
+
 struct RouterConfig {
   std::size_t data_bytes = 1000;  ///< default payload per packet
   int hop_budget_factor = 6;      ///< packet TTL = factor * k Kautz hops
   bool allow_relay = true;        ///< permit 1-relay detours for long arcs
+  RoutingPolicy policy = RoutingPolicy::kGreedy;
   FailoverMode failover = FailoverMode::kTheorem38;
   int route_gen_ttl = 8;          ///< flood TTL for kRouteGeneration
   double route_gen_deadline_s = 0.5;
@@ -116,6 +130,10 @@ class ReferRouter {
     std::uint64_t route_gen_floods = 0;  ///< kRouteGeneration discoveries
     std::uint64_t relays_used = 0;    ///< 1-relay physical detours
     std::uint64_t can_hops = 0;       ///< inter-cell overlay hops
+    /// RoutingPolicy::kRegular only: fresh concatenation-walk
+    /// derivations (one per source hop plus one per fail-over detour
+    /// re-entry; stays 0 under greedy).
+    std::uint64_t regular_walks = 0;
     /// Drop counts indexed by sim::DropReason (observability snapshot).
     std::array<std::uint64_t,
                static_cast<std::size_t>(sim::DropReason::kDropReasonCount)>
@@ -126,6 +144,17 @@ class ReferRouter {
   /// Theorem 3.8 memo cache (hit/miss counters feed observability).
   [[nodiscard]] const kautz::RouteCache& route_cache() const noexcept {
     return route_cache_;
+  }
+
+  /// Successful intra-cell forwards per Kautz arc, indexed
+  /// u.to_index(d) * d + rank of the appended digit in {0..d} \ {u_k}
+  /// (ascending).  Sized lazily on the first forward; empty when no
+  /// intra-cell hop happened.  This is the measured arc-load histogram
+  /// the routing-policy fairness series (RunMetrics::arc_forwards) and
+  /// the conformance tests compare against kautz/regular.hpp's theory.
+  [[nodiscard]] const std::vector<std::uint64_t>& arc_forwards()
+      const noexcept {
+    return arc_forwards_;
   }
 
  private:
@@ -147,6 +176,18 @@ class ReferRouter {
     std::vector<Label> excluded_corners;
     /// Set while the packet is climbing towards a corner actuator.
     std::optional<Label> ascent_target;
+    // RoutingPolicy::kRegular walk state: the out-digit program being
+    // followed, the next position in it, and the (label, target) the
+    // program expects.  Any deviation -- fail-over detour, Prop. 3.7
+    // forced hop, corner re-target -- breaks the expectation and the
+    // next relay derives a fresh walk from its own label (regular
+    // routes are pure functions of the endpoint labels, so this costs
+    // no signalling).
+    kautz::RegularRoute regular_walk;
+    int regular_pos = 0;
+    Label regular_expected;
+    Label regular_target;
+    bool regular_active = false;
     DeliveryFn done;
   };
   using PacketPtr = std::shared_ptr<Packet>;
@@ -173,6 +214,9 @@ class ReferRouter {
                                  PacketPtr pkt);
   void deliver(NodeId at, PacketPtr pkt);
   void drop(PacketPtr pkt, sim::DropReason reason);
+  /// Bumps the per-arc forward histogram for the arc u -> u·digit
+  /// (lazily sizes the table from the cell's (d, k) on first use).
+  void record_arc(const Label& u, const Label& next);
 
   /// True when routing-level trace emission is on (one branch).
   [[nodiscard]] bool tracing() const noexcept {
@@ -198,6 +242,8 @@ class ReferRouter {
   /// their Theorem 3.8 table from here instead of re-deriving it.
   kautz::RouteCache route_cache_;
   std::vector<kautz::Route> cache_scratch_;  ///< reused lookup buffer
+  /// Per-arc successful forward counts (see arc_forwards()).
+  std::vector<std::uint64_t> arc_forwards_;
 };
 
 }  // namespace refer::core

@@ -30,11 +30,12 @@ std::vector<harness::SweepPoint> ParallelExecutor::sweep(
 }
 
 harness::AggregateMetrics ParallelExecutor::run_repeated(
-    harness::SystemKind kind, harness::Scenario scenario, int repetitions) {
+    harness::SystemKind kind, harness::Scenario scenario, int repetitions,
+    double x) {
   const auto t0 = Clock::now();
   auto agg = harness::run_repeated(
       kind, std::move(scenario), repetitions, jobs_,
-      [this](const harness::JobRecord& r) { records_.push_back(r); });
+      [this](const harness::JobRecord& r) { records_.push_back(r); }, x);
   wall_s_ += seconds_since(t0);
   return agg;
 }

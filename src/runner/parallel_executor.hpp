@@ -30,9 +30,11 @@ class ParallelExecutor {
       const std::function<void(harness::Scenario&, double)>& configure,
       int repetitions);
 
-  /// Parallel counterpart of harness::run_repeated.
+  /// Parallel counterpart of harness::run_repeated.  `x` only labels
+  /// the emitted JobRecords (harness::run_repeated's x).
   [[nodiscard]] harness::AggregateMetrics run_repeated(
-      harness::SystemKind kind, harness::Scenario scenario, int repetitions);
+      harness::SystemKind kind, harness::Scenario scenario, int repetitions,
+      double x = 0);
 
   /// Single run with record-keeping (timeline / one-off views).
   [[nodiscard]] harness::RunMetrics run_once(

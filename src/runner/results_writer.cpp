@@ -49,6 +49,14 @@ void write_aggregate(JsonWriter& w, harness::SystemKind kind,
   write_summary(w, agg.app_actuator_availability);
   w.key("app_mean_recovery_s");
   write_summary(w, agg.app_mean_recovery_s);
+  w.key("airtime_gini");
+  write_summary(w, agg.airtime_gini);
+  w.key("airtime_max_min");
+  write_summary(w, agg.airtime_max_min);
+  w.key("arc_load_gini");
+  write_summary(w, agg.arc_load_gini);
+  w.key("arc_load_max_min");
+  write_summary(w, agg.arc_load_max_min);
   w.end_object();
 }
 
@@ -183,6 +191,13 @@ void write_metrics(JsonWriter& w, const harness::RunMetrics& m) {
   w.kv("app_actuator_availability", m.app_actuator_availability);
   w.kv("app_recoveries", m.app_recoveries);
   w.kv("app_mean_recovery_s", m.app_mean_recovery_s);
+  w.kv("airtime_gini", m.airtime_gini);
+  w.kv("airtime_max_min", m.airtime_max_min);
+  w.kv("arc_load_gini", m.arc_load_gini);
+  w.kv("arc_load_max_min", m.arc_load_max_min);
+  if (!m.arc_forwards.empty()) {
+    write_number_array(w, "arc_forwards", m.arc_forwards);
+  }
   if (!m.qos_timeline_kbps.empty()) {
     w.key("qos_timeline_kbps");
     w.begin_array();
@@ -251,6 +266,7 @@ void write_scenario(JsonWriter& w, const harness::Scenario& sc) {
   w.kv("csma", sc.csma);
   w.kv("spatial_index", sc.spatial_index);
   w.kv("neighbor_cache", sc.neighbor_cache);
+  w.kv("routing_policy", harness::to_string(sc.routing_policy));
   w.kv("legacy_event_queue", sc.legacy_event_queue);
   w.kv("timeline_bucket_s", sc.timeline_bucket_s);
   w.kv("phase_profile", sc.phase_profile);
@@ -305,6 +321,9 @@ std::string ResultsWriter::to_json() const {
     w.kv("system", harness::to_string(r.system));
     w.kv("rep", r.rep);
     w.kv("seed", r.seed);
+    if (r.policy != harness::RoutingPolicy::kGreedy) {
+      w.kv("routing_policy", harness::to_string(r.policy));
+    }
     w.kv("wall_ms", r.wall_ms);
     w.key("metrics");
     write_metrics(w, r.metrics);

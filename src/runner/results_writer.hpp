@@ -2,6 +2,14 @@
 // run, so BENCH_*.json perf trajectories are first-class instead of
 // scraped ASCII tables.
 //
+// Schema (version 5; v4 + the routing-policy comparison surface: the
+// scenario gains "routing_policy" ("greedy" / "regular"), every metrics
+// block gains the fairness series "airtime_gini" / "airtime_max_min" /
+// "arc_load_gini" / "arc_load_max_min" plus an "arc_forwards" count
+// array on jobs that recorded Kautz arcs (REFER), and aggregate blocks
+// gain the matching Summary keys.  v4 documents still parse: every
+// addition is a new optional key.
+//
 // Schema (version 4; v3 + the flight recorder: a "timeseries" object
 // per job metrics block when the scenario requested a timeline
 // (timeline_bucket_s > 0) -- parallel per-bucket arrays for workload,
@@ -61,7 +69,7 @@
 
 namespace refer::runner {
 
-inline constexpr int kResultsSchemaVersion = 4;
+inline constexpr int kResultsSchemaVersion = 5;
 
 /// `git describe --always --dirty` captured when the build was
 /// configured ("unknown" outside a git checkout).

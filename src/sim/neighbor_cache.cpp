@@ -19,6 +19,9 @@ NeighborCache::Table* NeighborCache::table_for(double range) {
   t.begin.resize(n_, 0);
   t.len.resize(n_, 0);
   t.stamp.resize(n_, 0);
+  t.row_hits.resize(n_, 0);
+  t.skip_epoch.resize(n_, 0);
+  t.skips.resize(n_, 0);
   return &t;
 }
 

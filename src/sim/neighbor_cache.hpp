@@ -87,6 +87,7 @@ class NeighborCache {
     std::uint64_t hits = 0;           ///< queries served from a cached row
     std::uint64_t rebuilds = 0;       ///< rows (re)built from the grid
     std::uint64_t invalidations = 0;  ///< epoch bumps (re-bins + rebuilds)
+    std::uint64_t skipped_fills = 0;  ///< misses served uncached (heuristic)
   };
 
   /// New node universe (full index rebuild / node added).  Drops every
@@ -107,16 +108,59 @@ class NeighborCache {
   [[nodiscard]] bool lookup(NodeId id, double range, Row& out) noexcept {
     for (Table& t : tables_) {
       if (t.range == range) {
-        if (t.stamp[static_cast<std::size_t>(id)] != epoch_) return false;
+        const auto slot = static_cast<std::size_t>(id);
+        if (t.stamp[slot] != epoch_) return false;
         out.pool = &t.pool;
         out.anchors = &t.apool;
-        out.begin = t.begin[static_cast<std::size_t>(id)];
-        out.len = t.len[static_cast<std::size_t>(id)];
+        out.begin = t.begin[slot];
+        out.len = t.len[slot];
+        if (t.row_hits[slot] < 255) ++t.row_hits[slot];
         ++stats_.hits;
         return true;
       }
     }
     return false;
+  }
+
+  /// Refill gate: hits the last build must have collected for its next
+  /// rebuild to be worth paying for eagerly.  A build costs roughly two
+  /// plain grid scans (the collect radius is widened by two slack
+  /// budgets, and the sorted ids plus their anchors are copied into the
+  /// pools) while a hit saves most of one scan, so one hit per build --
+  /// exactly what a broadcast produces, its CSMA medium scan filling the
+  /// row and its receiver materialisation consuming it -- never pays the
+  /// build back.  Two hits break even; beyond that the cache wins.
+  static constexpr std::uint8_t kRefillHitThreshold = 2;
+
+  /// Cheap staleness heuristic, consulted on a lookup miss before paying
+  /// for a rebuild.  Rows whose previous build amortised (>= threshold
+  /// hits before the epoch killed it) refill eagerly.  Cold rows -- the
+  /// one-broadcast-per-node-per-epoch shape behind the
+  /// BM_BroadcastReceivers_Cache n=4000 regression -- are served straight
+  /// from the grid instead: returns false and charges skipped_fills.  At
+  /// most two misses per row per epoch are skipped; a third miss in one
+  /// epoch is proof of real reuse, so filling resumes (and the hits that
+  /// build then collects decide the next epoch eagerly).  Purely a
+  /// performance decision -- the uncached scan is exact, so results are
+  /// bit-identical either way.
+  [[nodiscard]] bool should_fill(NodeId id, double range) noexcept {
+    for (Table& t : tables_) {
+      if (t.range != range) continue;
+      const auto slot = static_cast<std::size_t>(id);
+      if (t.stamp[slot] == 0) return true;  // never built: no history
+      if (t.row_hits[slot] >= kRefillHitThreshold) return true;
+      if (t.skip_epoch[slot] != epoch_) {
+        t.skip_epoch[slot] = epoch_;
+        t.skips[slot] = 1;
+      } else if (t.skips[slot] >= 2) {
+        return true;  // third miss this epoch: reuse is real again
+      } else {
+        ++t.skips[slot];
+      }
+      ++stats_.skipped_fills;
+      return false;
+    }
+    return true;  // new range class: no history to judge, build the row
   }
 
   /// Records `ids` (ascending, unique) as `id`'s row for range class
@@ -153,6 +197,7 @@ class NeighborCache {
     t->begin[slot] = row.begin;
     t->len[slot] = row.len;
     t->stamp[slot] = epoch_;
+    t->row_hits[slot] = 0;  // should_fill judges this build by its hits
     row.pool = &t->pool;
     row.anchors = &t->apool;
     return row;
@@ -167,6 +212,9 @@ class NeighborCache {
     std::vector<std::uint32_t> begin;  ///< per-node row offset into pool
     std::vector<std::uint32_t> len;    ///< per-node row length
     std::vector<std::uint64_t> stamp;  ///< per-node build epoch (0 = never)
+    std::vector<std::uint8_t> row_hits;  ///< hits on the node's last build
+    std::vector<std::uint64_t> skip_epoch;  ///< epoch of the last skipped fill
+    std::vector<std::uint8_t> skips;   ///< fills skipped within skip_epoch
     std::vector<NodeId> pool;          ///< shared row storage, append-only
     std::vector<Point> apool;          ///< candidate anchors, parallel to pool
   };

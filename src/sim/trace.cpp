@@ -143,6 +143,11 @@ void JsonlTraceWriter::operator()(const TraceRecord& record) {
   if (record.degree >= 0) {
     append_fmt(buffer_, ",\"degree\":%d", record.degree);
   }
+  if (!record.policy.empty()) {
+    buffer_ += ",\"policy\":\"";
+    json_escape_append(buffer_, record.policy);
+    buffer_ += '"';
+  }
   if (!record.at_label.empty()) {
     buffer_ += ",\"at\":\"";
     json_escape_append(buffer_, record.at_label);

@@ -103,6 +103,7 @@ struct TraceRecord {
   int alt_index = -1;    ///< failover: index into the alternative list
   int nominal_len = -1;  ///< failover: Theorem 3.8 nominal path length
   int degree = -1;       ///< trace_header: K(d, k) degree of the overlay
+  std::string policy;    ///< trace_header: routing policy name (or empty)
   std::string at_label;    ///< current node's overlay label
   std::string dst_label;   ///< intra-cell routing target label
   std::string next_label;  ///< chosen successor's overlay label

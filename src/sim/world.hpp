@@ -151,24 +151,32 @@ class World {
           walk_row(row, from, p, r, now, fn);
           return;
         }
-        ScratchPool::Lease lease = scratch_.acquire();
-        std::vector<NodeId>& buf = *lease;
-        // A row serves queries until the next re-bin.  Between its build
-        // and its last reuse the querying node and any true neighbour
-        // have each drifted at most `slack` from their binned anchors
-        // (the re-bin IS the moment that bound would break), so the
-        // build widens the radius by two slack budgets on top of
-        // collect()'s own binned-position expansion: the row stays a
-        // superset of every in-range set it serves, and the exact check
-        // in walk_row keeps results bit-identical to the uncached scan.
-        index_.collect(p, r + 2 * index_.slack(), buf);
-        sort_ids(buf);
-        index_stats_.queries += 1;
-        index_stats_.candidates += buf.size();
-        walk_row(ncache_.store(from, r, buf,
-                               [this](NodeId j) { return index_.anchor(j); }),
-                 from, p, r, now, fn);
-        return;
+        // Only pay for a row build when the previous build of this row
+        // earned its keep (see NeighborCache::should_fill); a workload
+        // that touches each row once per epoch -- every node broadcasting
+        // between re-bins -- is faster served by the plain scan below.
+        if (ncache_.should_fill(from, r)) {
+          ScratchPool::Lease lease = scratch_.acquire();
+          std::vector<NodeId>& buf = *lease;
+          // A row serves queries until the next re-bin.  Between its
+          // build and its last reuse the querying node and any true
+          // neighbour have each drifted at most `slack` from their
+          // binned anchors (the re-bin IS the moment that bound would
+          // break), so the build widens the radius by two slack budgets
+          // on top of collect()'s own binned-position expansion: the row
+          // stays a superset of every in-range set it serves, and the
+          // exact check in walk_row keeps results bit-identical to the
+          // uncached scan.
+          index_.collect(p, r + 2 * index_.slack(), buf);
+          sort_ids(buf);
+          index_stats_.queries += 1;
+          index_stats_.candidates += buf.size();
+          walk_row(
+              ncache_.store(from, r, buf,
+                            [this](NodeId j) { return index_.anchor(j); }),
+              from, p, r, now, fn);
+          return;
+        }
       }
       ScratchPool::Lease lease = scratch_.acquire();
       std::vector<NodeId>& buf = *lease;

@@ -98,6 +98,14 @@ harness::Scenario ScenarioFuzzer::generate(std::uint64_t seed) {
   // between the cached and uncached scan stays exercised.  Appended
   // after every pre-existing draw so old seeds reproduce unchanged.
   sc.neighbor_cache = rng.chance(0.9);
+
+  // Routing policy: a third of the cases ride the regular all-to-all
+  // walks (kautz/regular.hpp) so the policy's invariants -- valid arc
+  // walks, Theorem 3.8 fail-over behind them, the trace_report regular
+  // audit -- get fuzzed alongside greedy.  Appended after every
+  // pre-existing draw so old seeds reproduce unchanged.
+  sc.routing_policy = rng.chance(1.0 / 3.0) ? harness::RoutingPolicy::kRegular
+                                            : harness::RoutingPolicy::kGreedy;
   return sc;
 }
 

@@ -309,6 +309,7 @@ void InvariantChecker::check_trace_audit(const harness::RunContext& ctx) {
             report.path_length_violations);
   add_count(audit, "trace.chain_breaks", report.chain_breaks);
   add_count(audit, "trace.arc_violations", report.arc_violations);
+  add_count(audit, "trace.regular_mismatches", report.regular_mismatches);
   for (Violation& v : audit) add(v.check, std::move(v.detail));
 }
 

@@ -60,6 +60,7 @@ std::string to_repro_json(const ReproCase& repro) {
   w.kv("csma", sc.csma);
   w.kv("spatial_index", sc.spatial_index);
   w.kv("neighbor_cache", sc.neighbor_cache);
+  w.kv("routing_policy", harness::to_string(sc.routing_policy));
   w.kv("legacy_event_queue", sc.legacy_event_queue);
   w.kv("timeline_bucket_s", sc.timeline_bucket_s);
   w.kv("phase_profile", sc.phase_profile);
@@ -167,10 +168,10 @@ std::optional<ReproCase> load_repro(const std::string& path) {
   r.integer("repro_version", version);
   // v2 files stay loadable: they simply predate the app-layer knobs, so
   // those keep their Scenario defaults (app off).
-  if (r.error.empty() && version != kReproVersion && version != 2) {
+  if (r.error.empty() && (version < 2 || version > kReproVersion)) {
     std::fprintf(stderr, "repro: %s has version %d, expected %d (or the "
-                 "still-readable 2)\n",
-                 path.c_str(), version, kReproVersion);
+                 "still-readable 2..%d)\n",
+                 path.c_str(), version, kReproVersion, kReproVersion - 1);
     return std::nullopt;
   }
 
@@ -215,6 +216,14 @@ std::optional<ReproCase> load_repro(const std::string& path) {
   r.boolean("spatial_index", sc.spatial_index);
   // Added mid-version-3: older repro files simply predate the flag.
   r.optional_boolean("neighbor_cache", sc.neighbor_cache);
+  if (version >= 4) {
+    std::string policy;
+    r.string("routing_policy", policy);
+    if (r.error.empty() &&
+        !harness::parse_routing_policy(policy, sc.routing_policy)) {
+      r.fail("routing_policy", "expected \"greedy\" or \"regular\"");
+    }
+  }
   r.boolean("legacy_event_queue", sc.legacy_event_queue);
   r.number("timeline_bucket_s", sc.timeline_bucket_s);
   // Added mid-version-3: older repro files simply predate the flag.

@@ -21,7 +21,11 @@ namespace refer::verify {
 // v3: adds the closed-loop app layer's eight app_* scenario knobs
 //     (src/app).  load_repro still reads v2 files -- the app fields
 //     then keep their defaults (app_enabled = false).
-inline constexpr int kReproVersion = 3;
+// v4: adds the routing_policy toggle ("greedy" / "regular",
+//     Scenario::routing_policy).  v2 / v3 files stay loadable -- the
+//     policy then keeps its default (greedy), which is what every
+//     pre-v4 run used.
+inline constexpr int kReproVersion = 4;
 
 struct ReproCase {
   harness::SystemKind kind = harness::SystemKind::kRefer;

@@ -185,6 +185,91 @@ TEST(TraceReport, RejectsMalformedHeader) {
   EXPECT_EQ(r.header_degree, 0);
 }
 
+// --- Regular-walk audit (audit 4).  K(2,3) facts used below, verified
+// against kautz::regular_route: 012 -> 102 walks 012 121 210 102 (no
+// separator); 012 -> 201 walks 012 121 212 120 201 (separator 1);
+// 120 -> 201 walks 120 202 020 201.
+
+std::string regular_header() {
+  return R"({"t":0.0,"event":"trace_header","from":-1,"to":-1,"bytes":0,)"
+         R"("bucket":0,"degree":2,"policy":"regular"})"
+         "\n";
+}
+
+std::string hop(double t, const char* at, const char* dst, const char* next) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                R"({"t":%.1f,"event":"hop_forward","from":1,"to":2,)"
+                R"("bytes":100,"bucket":0,"packet":0,"hop":1,"at":"%s",)"
+                R"("dst":"%s","next":"%s"})"
+                "\n",
+                t, at, dst, next);
+  return buf;
+}
+
+TEST(TraceReport, AcceptsAFaithfulRegularWalk) {
+  std::istringstream in(regular_header() +
+                        base_packet((hop(0.1, "012", "102", "121") +
+                                     hop(0.2, "121", "102", "210") +
+                                     hop(0.3, "210", "102", "102"))
+                                        .c_str()));
+  const TraceReport r = analyze_trace(in);
+  EXPECT_EQ(r.header_policy, "regular");
+  EXPECT_EQ(r.regular_checked, 3u);
+  EXPECT_EQ(r.regular_mismatches, 0u);
+  EXPECT_EQ(r.violations(), 0u);
+}
+
+TEST(TraceReport, FlagsAHopThatLeavesTheRegularProgram) {
+  // 012 -> 120 is a real Kautz arc (the arc audit is happy), but the
+  // regular program for dst 102 appends digit 1 first (012 -> 121), and
+  // a fresh walk derived at 012 starts the same way: 120 is neither a
+  // continuation nor a restart.
+  std::istringstream in(regular_header() +
+                        base_packet(hop(0.1, "012", "102", "120").c_str()));
+  const TraceReport r = analyze_trace(in);
+  EXPECT_EQ(r.regular_checked, 1u);
+  EXPECT_EQ(r.regular_mismatches, 1u);
+  EXPECT_GT(r.violations(), 0u);
+}
+
+TEST(TraceReport, FailoverDetourHopsAreExemptFromTheWalkAudit) {
+  // A Theorem 3.8 fail-over to the shortest alternate (012 -> 120 for
+  // dst 201, nominal 2) explains the off-program hop; the walk then
+  // restarts at the detour node (120 -> 202 begins the fresh 120 -> 201
+  // program) and only that hop is counted.
+  std::istringstream in(
+      regular_header() +
+      base_packet(
+          (std::string(
+               R"({"t":0.1,"event":"failover","from":1,"to":-1,"bytes":100,)"
+               R"("bucket":0,"packet":0,"hop":0,"alt":1,"nominal_len":2,)"
+               R"("at":"012","dst":"201","next":"120"})"
+               "\n") +
+           hop(0.2, "012", "201", "120") + hop(0.3, "120", "201", "202"))
+              .c_str()));
+  const TraceReport r = analyze_trace(in);
+  EXPECT_EQ(r.failover_mismatches, 0u);
+  EXPECT_EQ(r.regular_checked, 1u);
+  EXPECT_EQ(r.regular_mismatches, 0u);
+  EXPECT_EQ(r.violations(), 0u);
+}
+
+TEST(TraceReport, GreedyTracesSkipTheRegularAudit) {
+  // Same off-program hop as above, but no policy in the header: the
+  // run was greedy, so the walk audit must not fire at all.
+  std::istringstream in(
+      R"({"t":0.0,"event":"trace_header","from":-1,"to":-1,"bytes":0,)"
+      R"("bucket":0,"degree":2})"
+      "\n" +
+      base_packet(hop(0.1, "012", "102", "120").c_str()));
+  const TraceReport r = analyze_trace(in);
+  EXPECT_EQ(r.header_policy, "");
+  EXPECT_EQ(r.regular_checked, 0u);
+  EXPECT_EQ(r.regular_mismatches, 0u);
+  EXPECT_EQ(r.violations(), 0u);
+}
+
 TEST(TraceReport, FlagsSchemaViolations) {
   std::istringstream in(
       // Routing event without a packet id.
@@ -538,7 +623,7 @@ TEST(TimelineReport, LocalizesScriptedActuatorFaultDip) {
   writer.add_records({rec});
   const auto doc = load_timeline_doc(writer.to_json());
   ASSERT_TRUE(doc.has_value());
-  EXPECT_EQ(doc->schema_version, 4);
+  EXPECT_EQ(doc->schema_version, 5);
   ASSERT_EQ(doc->jobs.size(), 1u);
   EXPECT_TRUE(doc->jobs[0].v4);
 

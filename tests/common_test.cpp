@@ -275,6 +275,30 @@ TEST(Logging, LevelRoundTrip) {
   set_log_level(prev);
 }
 
+TEST(Stats, GiniCoefficientClosedForms) {
+  // Perfect evenness and the all-mass-on-one extreme ((n-1)/n).
+  EXPECT_DOUBLE_EQ(gini_coefficient({1, 1, 1, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(gini_coefficient({0, 0, 0, 1}), 0.75);
+  // Hand-computed: sorted {1,2,3,4}, G = 2*(1+4+9+16)/(4*10) - 5/4.
+  EXPECT_DOUBLE_EQ(gini_coefficient({4, 2, 1, 3}), 0.25);
+  // Zeros count as unfairness: half the nodes idle, half equal.
+  EXPECT_DOUBLE_EQ(gini_coefficient({0, 0, 2, 2}), 0.5);
+  // Degenerate samples define 0, not NaN.
+  EXPECT_DOUBLE_EQ(gini_coefficient({}), 0.0);
+  EXPECT_DOUBLE_EQ(gini_coefficient({0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(gini_coefficient({5}), 0.0);
+}
+
+TEST(Stats, MaxMinRatioIgnoresIdleEntries) {
+  EXPECT_DOUBLE_EQ(max_min_ratio({2, 4}), 2.0);
+  // Idle (zero) elements carry no load to compare.
+  EXPECT_DOUBLE_EQ(max_min_ratio({0, 3, 6}), 2.0);
+  EXPECT_DOUBLE_EQ(max_min_ratio({5}), 1.0);
+  EXPECT_DOUBLE_EQ(max_min_ratio({7, 7, 7}), 1.0);
+  EXPECT_DOUBLE_EQ(max_min_ratio({}), 0.0);
+  EXPECT_DOUBLE_EQ(max_min_ratio({0, 0}), 0.0);
+}
+
 TEST(StatsRegistry, CountersAccumulateAndSnapshotSorted) {
   StatsRegistry registry;
   registry.counter("b.second").add(2);

@@ -230,13 +230,79 @@ TEST(NeighborCacheCounters, MobilityRebinsInvalidate) {
                      rng.split());
   }
   (void)world.reachable_from(0);
+  (void)world.reachable_from(0);  // two hits: this row earns its keep
+  (void)world.reachable_from(0);
   const std::uint64_t inv0 = world.neighbor_cache_stats().invalidations;
   // Far past every slack deadline (slack/speed <= 5 m / 1 mps): the next
-  // query's revalidate re-bins movers and must expire cached rows.
+  // query's revalidate re-bins movers and must expire cached rows.  The
+  // row collected kRefillHitThreshold hits before the re-bin, so the
+  // staleness heuristic rebuilds it rather than skipping the fill.
   sim.run_until(30);
   (void)world.reachable_from(0);
   EXPECT_GT(world.neighbor_cache_stats().invalidations, inv0);
   EXPECT_GE(world.neighbor_cache_stats().rebuilds, 2u);
+  EXPECT_EQ(world.neighbor_cache_stats().skipped_fills, 0u);
+}
+
+TEST(NeighborCacheCounters, ColdRowsSkipFillsUntilReuseReturns) {
+  // Cache-level pin on the staleness heuristic: a row whose previous
+  // build collected fewer than kRefillHitThreshold hits has its fills
+  // skipped -- at most two per epoch; a third miss in one epoch, or a
+  // build that reaches the threshold, resumes eager filling.
+  sim::NeighborCache cache;
+  cache.reset(4);
+  const std::vector<NodeId> ids = {1, 2, 3};
+  const auto anchor_of = [](NodeId id) {
+    return Point{static_cast<double>(id), 0.0};
+  };
+  sim::NeighborCache::Row view;
+
+  EXPECT_TRUE(cache.should_fill(0, 100.0));  // no history: build
+  (void)cache.store(0, 100.0, ids, anchor_of);
+  ASSERT_TRUE(cache.lookup(0, 100.0, view));  // one hit: below threshold
+  cache.invalidate();
+
+  // The broadcast shape -- one fill, one hit, epoch over -- never pays
+  // the build back, so the next epoch's misses are served uncached...
+  EXPECT_FALSE(cache.should_fill(0, 100.0));
+  EXPECT_FALSE(cache.should_fill(0, 100.0));
+  EXPECT_EQ(cache.stats().skipped_fills, 2u);
+  // ...until a third miss in the same epoch proves real reuse.
+  EXPECT_TRUE(cache.should_fill(0, 100.0));
+  (void)cache.store(0, 100.0, ids, anchor_of);
+  ASSERT_TRUE(cache.lookup(0, 100.0, view));
+  ASSERT_TRUE(cache.lookup(0, 100.0, view));  // threshold hits: amortised
+  cache.invalidate();
+  EXPECT_TRUE(cache.should_fill(0, 100.0));  // hot rows refill eagerly
+  EXPECT_TRUE(cache.should_fill(1, 100.0));  // never-built slot: build
+  EXPECT_EQ(cache.stats().skipped_fills, 2u);
+}
+
+TEST(NeighborCacheProperty, SkippedFillsStayExact) {
+  // The broadcast shape that motivated the heuristic: every node queries
+  // once per epoch, so no row is ever reused and -- after the first
+  // epoch -- every fill is skipped.  Skipped queries run the plain grid
+  // scan and must stay bit-identical to the cache-off path.
+  sim::Simulator sim;
+  sim::World world(Rect{{0, 0}, {600, 600}}, sim);
+  Rng rng(23);
+  for (int i = 0; i < 60; ++i) {
+    world.add_sensor({rng.uniform(0, 600), rng.uniform(0, 600)}, 120, 1, 3,
+                     rng.split());
+  }
+  double t = 0;
+  for (int epoch = 0; epoch < 4; ++epoch) {
+    sim.run_until(t += 30);  // past every slack deadline: forces a re-bin
+    for (NodeId from = 0; static_cast<std::size_t>(from) < world.size();
+         ++from) {
+      const std::vector<NodeId> cached = world.reachable_from(from);
+      world.set_neighbor_cache_enabled(false);
+      const std::vector<NodeId> uncached = world.reachable_from(from);
+      world.set_neighbor_cache_enabled(true);
+      ASSERT_EQ(cached, uncached) << "epoch=" << epoch << " from=" << from;
+    }
+  }
+  EXPECT_GT(world.neighbor_cache_stats().skipped_fills, 0u);
 }
 
 TEST(NeighborCacheSteadyState, HitPathDoesNotAllocate) {
@@ -278,8 +344,11 @@ TEST(NeighborCacheSteadyState, HitPathDoesNotAllocate) {
   });
   EXPECT_EQ(allocs, 0u)
       << "cached medium scans must not touch the heap at steady state";
+  // Each (from, range) pair may spend its first measurement queries on a
+  // miss -- worst case two skipped fills plus the fill itself (the
+  // staleness heuristic's cold-row path) -- before settling into hits.
   EXPECT_GE(world.neighbor_cache_stats().hits,
-            hits_before + 50u * 2u * static_cast<std::uint64_t>(n) - 2u * n);
+            hits_before + 50u * 2u * static_cast<std::uint64_t>(n) - 6u * n);
 }
 
 TEST(NeighborCacheSteadyState, RowRebuildsRecyclePoolsWithoutAllocating) {
@@ -402,6 +471,31 @@ TEST(NeighborCacheDeterminism, HoldsOnTheLegacyEventQueueToo) {
   const harness::RunMetrics off =
       harness::run_once(harness::SystemKind::kRefer, sc);
   expect_identical_runs(on, off);
+}
+
+TEST(NeighborCacheDeterminism, HoldsUnderTheRegularRoutingPolicy) {
+  // The regular-routing walks route different packets over different
+  // arcs than greedy, changing which neighbourhoods get queried -- the
+  // cache (and its staleness heuristic) must stay invisible there too,
+  // on both event queues.
+  harness::Scenario sc;
+  sc.n_sensors = 110;
+  sc.warmup_s = 5;
+  sc.measure_s = 20;
+  sc.faulty_nodes = 4;
+  sc.seed = 29;
+  sc.routing_policy = harness::RoutingPolicy::kRegular;
+
+  for (const bool legacy_queue : {false, true}) {
+    sc.legacy_event_queue = legacy_queue;
+    sc.neighbor_cache = true;
+    const harness::RunMetrics on =
+        harness::run_once(harness::SystemKind::kRefer, sc);
+    sc.neighbor_cache = false;
+    const harness::RunMetrics off =
+        harness::run_once(harness::SystemKind::kRefer, sc);
+    expect_identical_runs(on, off);
+  }
 }
 
 }  // namespace

@@ -264,6 +264,54 @@ TEST(ParallelExecutor, TracedRunsAreBitIdenticalSerialVsParallel) {
   fs::remove_all(base);
 }
 
+TEST(ParallelExecutor, RegularPolicyRunsAreBitIdenticalSerialVsParallel) {
+  // The regular-routing walk state lives on the packet, so worker
+  // interleaving must not perturb it: serial and parallel runs of a
+  // regular-policy scenario agree on every aggregate and produce
+  // byte-identical traces (which carry the policy in their header).
+  namespace fs = std::filesystem;
+  const fs::path base = fs::path(::testing::TempDir()) / "regular_runs";
+  const fs::path dir_serial = base / "serial";
+  const fs::path dir_parallel = base / "parallel";
+  fs::create_directories(dir_serial);
+  fs::create_directories(dir_parallel);
+
+  harness::Scenario sc = small_scenario();
+  sc.routing_policy = harness::RoutingPolicy::kRegular;
+  sc.faulty_nodes = 4;  // Theorem 3.8 fail-overs interleave with walks
+  harness::Scenario sc_serial = sc;
+  sc_serial.trace_dir = dir_serial.string();
+  harness::Scenario sc_parallel = sc;
+  sc_parallel.trace_dir = dir_parallel.string();
+
+  ParallelExecutor serial(1);
+  ParallelExecutor parallel(3);
+  const auto a =
+      serial.run_repeated(harness::SystemKind::kRefer, sc_serial, 2);
+  const auto b =
+      parallel.run_repeated(harness::SystemKind::kRefer, sc_parallel, 2);
+  expect_aggregate_eq(a, b);
+
+  auto slurp = [](const fs::path& p) {
+    std::ifstream in(p, std::ios::binary);
+    EXPECT_TRUE(in.is_open()) << p;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+  };
+  for (int rep = 0; rep < 2; ++rep) {
+    const std::string name = "REFER_x0_rep" + std::to_string(rep) + ".jsonl";
+    const std::string serial_trace = slurp(dir_serial / name);
+    const std::string parallel_trace = slurp(dir_parallel / name);
+    EXPECT_FALSE(serial_trace.empty());
+    EXPECT_NE(serial_trace.find("\"policy\":\"regular\""), std::string::npos)
+        << "trace header must carry the non-default policy";
+    EXPECT_EQ(serial_trace, parallel_trace)
+        << name << " differs between serial and parallel execution";
+  }
+  fs::remove_all(base);
+}
+
 TEST(ParallelExecutor, RunOnceRecords) {
   ParallelExecutor ex(1);
   harness::Scenario sc = small_scenario();
@@ -293,7 +341,7 @@ TEST(ResultsWriter, EmitsSchemaValidDocument) {
   writer.add_series("x", points);
 
   const std::string doc = writer.to_json();
-  EXPECT_NE(doc.find("\"schema_version\":4"), std::string::npos);
+  EXPECT_NE(doc.find("\"schema_version\":5"), std::string::npos);
   EXPECT_NE(doc.find("\"app_enabled\":"), std::string::npos);
   EXPECT_NE(doc.find("\"app_loop_completion_ratio\""), std::string::npos);
   EXPECT_NE(doc.find("\"observability\":["), std::string::npos);

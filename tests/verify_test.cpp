@@ -168,9 +168,10 @@ TEST(Repro, RoundTripsEveryScenarioField) {
 }
 
 TEST(Repro, StillLoadsVersion2FilesWithAppDefaults) {
-  // A v3 document with every app_* key stripped and the version stamped
-  // back to 2 -- exactly what a pre-app-layer fuzzer wrote.  It must
-  // load, with the app knobs at their Scenario defaults (app off).
+  // A current document with every app_* key (and the other post-v2
+  // fields) stripped and the version stamped back to 2 -- exactly what a
+  // pre-app-layer fuzzer wrote.  It must load, with the app knobs at
+  // their Scenario defaults (app off).
   ReproCase repro;
   repro.kind = harness::SystemKind::kRefer;
   repro.scenario = ScenarioFuzzer::generate(7);
@@ -182,7 +183,8 @@ TEST(Repro, StillLoadsVersion2FilesWithAppDefaults) {
     ASSERT_NE(at, std::string::npos) << from;
     doc.replace(at, from.size(), to);
   };
-  replace("\"repro_version\":3", "\"repro_version\":2");
+  replace("\"repro_version\":4", "\"repro_version\":2");
+  replace("\"routing_policy\":\"greedy\",", "");
   const std::size_t app_from = doc.find("\"app_enabled\"");
   const std::size_t app_to = doc.find("\"seed\"");
   ASSERT_NE(app_from, std::string::npos);

@@ -47,6 +47,9 @@ void print_usage(std::FILE* out) {
                "                  instead of reusing cached neighbor rows\n"
                "  --legacy-event-queue  binary-heap kernel instead of the\n"
                "                  calendar queue\n"
+               "  --routing-policy greedy|regular  REFER intra-cell routing\n"
+               "                  (default greedy shortest paths; regular =\n"
+               "                  all-to-all walks, Theorem 3.8 fail-over)\n"
                "  --quick         reps=1, measure=45 (smoke runs)\n"
                "  --full          reps=5, measure=200 (paper-closer scale)\n");
 }

@@ -7,9 +7,13 @@
 // alternate-successor switch re-derived via kautz::disjoint_routes) and
 // the hop-chain continuity check, plus the first few fail-over chains.
 //
+// Traces from regular-policy runs (trace_header policy="regular") get a
+// fourth audit: every non-fail-over hop replayed against the re-derived
+// Faber-Streib concatenation walk (kautz/regular.hpp).
+//
 // Exit status: 0 clean, 1 when --strict and any audit found a violation
-// (parse/schema errors, route mismatches, path-length or chain/arc
-// violations), 2 on usage errors.
+// (parse/schema errors, route mismatches, path-length, chain/arc or
+// regular-walk violations), 2 on usage errors.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
